@@ -1,0 +1,176 @@
+package pax_test
+
+// One benchmark per paper table/figure (and per DESIGN.md ablation), each
+// regenerating its experiment on the simulator, plus per-operation
+// micro-benchmarks of every system under test.
+//
+// Benchmarks report two kinds of numbers: Go's wall-clock ns/op measures the
+// *simulator*; the custom metrics (sim-ns/op, etc.) are the simulated
+// quantities the paper's figures are about.
+
+import (
+	"testing"
+
+	"pax/internal/benchkit"
+	"pax/internal/workload"
+)
+
+// benchSizes keeps experiment benchmarks to sub-second iterations while
+// still exercising every code path.
+func benchSizes() benchkit.Sizes {
+	return benchkit.Sizes{Keys: 2000, MeasureOps: 2000, PersistEvery: 200, Threads: []int{1, 8, 16, 24, 32}}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := benchkit.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := benchkit.TestConfig()
+	sz := benchSizes()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg, sz)
+		if len(tables) == 0 {
+			b.Fatal("no output tables")
+		}
+	}
+}
+
+// Paper figures.
+
+func BenchmarkFig2aAMAT(b *testing.B)       { runExperiment(b, "fig2a") }
+func BenchmarkFig2bThroughput(b *testing.B) { runExperiment(b, "fig2b") }
+func BenchmarkFig2bPAX(b *testing.B)        { runExperiment(b, "fig2b-pax") }
+
+// Ablations and analyses from DESIGN.md's experiment index.
+
+func BenchmarkWriteAmplification(b *testing.B) { runExperiment(b, "wamp") }
+func BenchmarkStallBreakdown(b *testing.B)     { runExperiment(b, "stalls") }
+func BenchmarkTrapOverhead(b *testing.B)       { runExperiment(b, "traps") }
+func BenchmarkBandwidthCeilings(b *testing.B)  { runExperiment(b, "bw") }
+func BenchmarkDeviceClockSweep(b *testing.B)   { runExperiment(b, "devrate") }
+func BenchmarkEpochLength(b *testing.B)        { runExperiment(b, "epoch") }
+func BenchmarkEvictionPolicy(b *testing.B)     { runExperiment(b, "evict") }
+func BenchmarkRecovery(b *testing.B)           { runExperiment(b, "recovery") }
+func BenchmarkLinkLatencySweep(b *testing.B)   { runExperiment(b, "latsweep") }
+func BenchmarkHBMSize(b *testing.B)            { runExperiment(b, "hbmsize") }
+func BenchmarkOverlappedPersist(b *testing.B)  { runExperiment(b, "overlap") }
+func BenchmarkCapacityCost(b *testing.B)       { runExperiment(b, "capacity") }
+
+// Per-operation micro-benchmarks: wall time measures the simulator itself;
+// the sim-ns/op metric is the simulated per-operation latency.
+
+func benchPuts(b *testing.B, kind benchkit.SystemKind, persistEvery int) {
+	b.Helper()
+	f, err := benchkit.Build(kind, benchkit.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Fig2bConfig(4096))
+	// Warm the table.
+	for i := uint64(0); i < 4096; i++ {
+		if err := f.Map.Put(gen.MakeKey(i), gen.MakeValue(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := f.Core.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		if err := f.Map.Put(op.Key, op.Value); err != nil {
+			b.Fatal(err)
+		}
+		if persistEvery > 0 && (i+1)%persistEvery == 0 {
+			f.Persist()
+		}
+	}
+	b.StopTimer()
+	elapsed := f.Core.Now() - start
+	b.ReportMetric(elapsed.Nanoseconds()/float64(b.N), "sim-ns/op")
+}
+
+func BenchmarkPutDRAM(b *testing.B)      { benchPuts(b, benchkit.DRAM, 0) }
+func BenchmarkPutPMDirect(b *testing.B)  { benchPuts(b, benchkit.PMDirect, 0) }
+func BenchmarkPutPMDK(b *testing.B)      { benchPuts(b, benchkit.PMDK, 0) }
+func BenchmarkPutCompiler(b *testing.B)  { benchPuts(b, benchkit.CompilerPass, 0) }
+func BenchmarkPutPageFault(b *testing.B) { benchPuts(b, benchkit.PageFault, 200) }
+func BenchmarkPutPAXCXL(b *testing.B)    { benchPuts(b, benchkit.PAXCXL, 200) }
+func BenchmarkPutPAXEnzian(b *testing.B) { benchPuts(b, benchkit.PAXEnzian, 200) }
+
+func BenchmarkGetPAXCXL(b *testing.B) {
+	f, err := benchkit.Build(benchkit.PAXCXL, benchkit.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Fig2aConfig(4096))
+	for i := uint64(0); i < 4096; i++ {
+		f.Map.Put(gen.MakeKey(i), gen.MakeValue(i))
+	}
+	f.Persist()
+	start := f.Core.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		if _, ok := f.Map.Get(op.Key); !ok {
+			b.Fatal("loaded key missing")
+		}
+	}
+	b.StopTimer()
+	elapsed := f.Core.Now() - start
+	b.ReportMetric(elapsed.Nanoseconds()/float64(b.N), "sim-ns/op")
+}
+
+func BenchmarkPersistLatency(b *testing.B) {
+	f, err := benchkit.Build(benchkit.PAXCXL, benchkit.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Fig2bConfig(4096))
+	var persistSim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Dirty 64 lines, then persist them.
+		for j := 0; j < 64; j++ {
+			op := gen.Next()
+			f.Map.Put(op.Key, op.Value)
+		}
+		before := f.Core.Now()
+		f.Persist()
+		persistSim += (f.Core.Now() - before).Nanoseconds()
+	}
+	b.StopTimer()
+	b.ReportMetric(persistSim/float64(b.N), "sim-ns/persist")
+}
+
+func BenchmarkRecoveryOpen(b *testing.B) {
+	// Cost of opening a pool with a crashed epoch of ~1000 dirty lines.
+	f, err := benchkit.Build(benchkit.PAXCXL, benchkit.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := f.Pool.Mem(0)
+	base := f.Pool.DataBase() + 1<<20
+	for i := uint64(0); i < 1000; i++ {
+		m.Store(base+i*64, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	img := f.PM.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool, err := benchkit.ReopenCrashImage(f, img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pool.Recovery().LinesRolledBack == 0 {
+			b.Fatal("nothing recovered")
+		}
+	}
+}
+
+func BenchmarkYCSBMixes(b *testing.B) { runExperiment(b, "ycsb") }
+
+func BenchmarkHybridPaging(b *testing.B) { runExperiment(b, "hybrid") }
+
+func BenchmarkTailLatency(b *testing.B) { runExperiment(b, "tail") }
+
+func BenchmarkScanWorkload(b *testing.B) { runExperiment(b, "scan") }

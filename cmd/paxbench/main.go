@@ -1,0 +1,80 @@
+// Command paxbench regenerates every table and figure of the paper's
+// evaluation (and this repository's ablations) on the simulator.
+//
+// Usage:
+//
+//	paxbench -list
+//	paxbench -experiment fig2a            # one experiment, paper scale
+//	paxbench -experiment all -scale quick # everything, small and fast
+//
+// Scales: "paper" uses a hash table far larger than the simulated LLC and
+// 100k measured operations per system; "quick" is a seconds-long smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pax/internal/benchkit"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		scale      = flag.String("scale", "paper", "run scale: quick | paper")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		format     = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-12s %s\n", "ID", "PAPER", "DESCRIPTION")
+		for _, e := range benchkit.Experiments() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+
+	var sz benchkit.Sizes
+	switch *scale {
+	case "quick":
+		sz = benchkit.QuickSizes()
+	case "paper":
+		sz = benchkit.PaperSizes()
+	default:
+		fmt.Fprintf(os.Stderr, "paxbench: unknown scale %q (quick|paper)\n", *scale)
+		os.Exit(2)
+	}
+	cfg := benchkit.DefaultConfig()
+	if *scale == "quick" {
+		cfg = benchkit.TestConfig()
+	}
+
+	run := func(e benchkit.Experiment) {
+		start := time.Now()
+		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Paper, e.Desc)
+		for _, table := range e.Run(cfg, sz) {
+			if *format == "csv" {
+				fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
+			} else {
+				fmt.Println(table.String())
+			}
+		}
+		fmt.Printf("    [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, e := range benchkit.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := benchkit.Find(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paxbench: unknown experiment %q (use -list)\n", *experiment)
+		os.Exit(2)
+	}
+	run(e)
+}

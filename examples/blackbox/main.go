@@ -1,0 +1,88 @@
+// blackbox: the paper's "Black-Box Code Reuse" claim, demonstrated. One
+// hash-map implementation — written with no knowledge of persistence — runs
+// unchanged over five memory backends:
+//
+//   - DRAM (volatile),
+//   - PM direct (fast, NOT crash consistent),
+//   - a PMDK-style transactional memory (hand-crafted WAL),
+//   - page-fault change tracking,
+//   - a PAX vPM region (crash consistent, asynchronous logging).
+//
+// The example runs the same operation sequence on each backend, checks the
+// results are identical, and prints what each mechanism paid for it.
+//
+//	go run ./examples/blackbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pax/internal/benchkit"
+	"pax/internal/workload"
+)
+
+func main() {
+	cfg := benchkit.TestConfig()
+	spec := benchkit.RunSpec{
+		Workload:     workload.Fig2bConfig(2000),
+		LoadKeys:     2000,
+		MeasureOps:   4000,
+		PersistEvery: 0,
+	}
+
+	fmt.Println("one HashMap implementation, five backends, identical op stream:")
+	fmt.Println()
+	fmt.Printf("%-14s %12s %12s %12s %10s %10s\n",
+		"backend", "sim ns/op", "fences/op", "log B/op", "traps/op", "crash-safe")
+
+	type row struct {
+		kind  benchkit.SystemKind
+		safe  string
+		every int
+	}
+	rows := []row{
+		{benchkit.DRAM, "no (volatile)", 0},
+		{benchkit.PMDirect, "NO", 0},
+		{benchkit.PMDK, "yes (per op)", 0},
+		{benchkit.PageFault, "yes (epochs)", 500},
+		{benchkit.PAXCXL, "yes (epochs)", 500},
+	}
+
+	var golden map[string]string
+	for _, r := range rows {
+		f, err := benchkit.Build(r.kind, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := spec
+		s.PersistEvery = r.every
+		res := benchkit.RunKV(f, s)
+
+		// Equivalence check: every backend must produce the same map.
+		gen := workload.NewGenerator(spec.Workload)
+		contents := map[string]string{}
+		for i := uint64(0); i < 2000; i++ {
+			if v, ok := f.Map.Get(gen.MakeKey(i)); ok {
+				contents[string(gen.MakeKey(i))] = string(v)
+			}
+		}
+		if golden == nil {
+			golden = contents
+		} else if len(contents) != len(golden) {
+			log.Fatalf("%s diverged: %d keys vs %d", r.kind, len(contents), len(golden))
+		} else {
+			for k, v := range golden {
+				if contents[k] != v {
+					log.Fatalf("%s diverged on key %q", r.kind, k)
+				}
+			}
+		}
+
+		fmt.Printf("%-14s %12.0f %12.2f %12.1f %10.4f %10s\n",
+			r.kind, res.NsPerOp, res.FencesPerOp, res.LoggedBytesPerOp, res.TrapsPerOp, r.safe)
+	}
+	fmt.Println()
+	fmt.Println("all five backends hold byte-identical contents — the structure code")
+	fmt.Println("never changed; only the allocator's memory did (the paper's §3.1 claim)")
+}

@@ -1,0 +1,101 @@
+// kvstore: a small persistent key-value store with a write-ahead-free
+// durability model — snapshots via PAX group commit. It demonstrates real
+// process restarts: state lives in kvstore.pool and survives separate runs.
+//
+//	go run ./examples/kvstore set name ada
+//	go run ./examples/kvstore set lang go
+//	go run ./examples/kvstore get name
+//	go run ./examples/kvstore list
+//	go run ./examples/kvstore del name
+//	go run ./examples/kvstore stats
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"pax"
+)
+
+const poolFile = "kvstore.pool"
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  kvstore set <key> <value>   store a pair (durable before exit)
+  kvstore get <key>           print a value
+  kvstore del <key>           delete a key (durable before exit)
+  kvstore list                print all pairs, sorted
+  kvstore stats               pool epoch/recovery info`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	pool, err := pax.MapPool(poolFile, pax.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	m, err := pax.NewMap(pool, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch os.Args[1] {
+	case "set":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		if err := m.Put([]byte(os.Args[2]), []byte(os.Args[3])); err != nil {
+			log.Fatal(err)
+		}
+		st := pool.Persist()
+		fmt.Printf("ok (epoch %d, %v simulated persist latency)\n", st.Epoch, st.SimulatedLatency)
+	case "get":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		if v, ok := m.Get([]byte(os.Args[2])); ok {
+			fmt.Println(string(v))
+		} else {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+	case "del":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		present, err := m.Delete([]byte(os.Args[2]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool.Persist()
+		fmt.Println("deleted:", present)
+	case "list":
+		type pair struct{ k, v string }
+		var pairs []pair
+		m.ForEach(func(k, v []byte) bool {
+			pairs = append(pairs, pair{string(k), string(v)})
+			return true
+		})
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+		for _, p := range pairs {
+			fmt.Printf("%s = %s\n", p.k, p.v)
+		}
+		fmt.Printf("(%d keys)\n", len(pairs))
+	case "stats":
+		rec := pool.Recovery()
+		fmt.Printf("pool file:         %s\n", poolFile)
+		fmt.Printf("durable epoch:     %d\n", pool.DurableEpoch())
+		fmt.Printf("current epoch:     %d\n", pool.Epoch())
+		fmt.Printf("keys:              %d\n", m.Len())
+		fmt.Printf("last recovery:     epoch %d, %d lines rolled back\n",
+			rec.DurableEpoch, rec.LinesRolledBack)
+	default:
+		usage()
+	}
+}

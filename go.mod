@@ -1,0 +1,3 @@
+module pax
+
+go 1.22

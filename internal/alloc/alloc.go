@@ -1,0 +1,246 @@
+// Package alloc implements the pool allocator that libpax wraps around a
+// mapped vPM region (§3.1 "PAX Allocator Setup").
+//
+// Every byte of allocator state — the bump frontier and the free lists —
+// lives inside the managed region and is accessed exclusively through the
+// region's Memory. That is the load-bearing design point: because the
+// allocator's metadata is just more data in vPM, PAX's snapshotting makes
+// allocation state crash-consistent for free, and recovery needs no separate
+// allocator repair step (§3.4 "it recovers the pool's allocator state" falls
+// out of rolling the region back to the last snapshot). The same code also
+// runs over plain DRAM for the volatile baselines.
+package alloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pax/internal/memory"
+)
+
+const (
+	arenaMagic   = 0x5041584152454e41 // "PAXARENA"
+	arenaVersion = 1
+
+	// numClasses size classes: 16, 32, 64, ..., 4096.
+	numClasses = 9
+	minClass   = 16
+	maxClass   = 4096
+	pageRound  = 4096
+
+	// Header layout (absolute offsets from arena base).
+	offMagic   = 0
+	offVersion = 8
+	offSize    = 16
+	offBrk     = 24
+	offLarge   = 32 // head of the large-block free list
+	offClasses = 40 // numClasses * 8 bytes of list heads
+	headerSize = offClasses + numClasses*8
+
+	// heapAlign is the minimum block alignment.
+	heapAlign = 16
+)
+
+// ErrOutOfMemory is returned when the arena cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("alloc: arena exhausted")
+
+// Arena is a crash-consistent allocator over a Memory window. It is not safe
+// for concurrent use; callers serialize (matching §3.5's contract that
+// structure code provides its own thread safety).
+type Arena struct {
+	mem  memory.Memory
+	base uint64
+	size uint64
+
+	// In-memory statistics (not persisted; rebuilt as zero on open).
+	AllocCalls, FreeCalls uint64
+	BytesAllocated        uint64
+}
+
+// classFor returns the class index for a small size, or -1 for large sizes.
+func classFor(size uint64) int {
+	if size > maxClass {
+		return -1
+	}
+	c := 0
+	for s := uint64(minClass); s < size; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+// classSize returns the block size of class c.
+func classSize(c int) uint64 { return minClass << uint(c) }
+
+func roundUp(v, to uint64) uint64 { return (v + to - 1) / to * to }
+
+// Create formats a fresh arena in [base, base+size) of mem. The usable heap
+// begins after the header.
+func Create(mem memory.Memory, base, size uint64) *Arena {
+	if size < headerSize+maxClass {
+		panic(fmt.Sprintf("alloc: arena of %d bytes too small", size))
+	}
+	a := &Arena{mem: mem, base: base, size: size}
+	a.writeU64(base+offMagic, arenaMagic)
+	a.writeU64(base+offVersion, arenaVersion)
+	a.writeU64(base+offSize, size)
+	a.writeU64(base+offBrk, roundUp(base+headerSize, heapAlign))
+	a.writeU64(base+offLarge, 0)
+	for c := 0; c < numClasses; c++ {
+		a.writeU64(base+offClasses+uint64(c)*8, 0)
+	}
+	return a
+}
+
+// Open attaches to an existing arena, validating its header. Open performs
+// no repair: after a crash the region's contents were already rolled back to
+// the last consistent snapshot by the pool's recovery.
+func Open(mem memory.Memory, base, size uint64) (*Arena, error) {
+	a := &Arena{mem: mem, base: base, size: size}
+	if got := a.readU64(base + offMagic); got != arenaMagic {
+		return nil, fmt.Errorf("alloc: bad arena magic %#x", got)
+	}
+	if got := a.readU64(base + offVersion); got != arenaVersion {
+		return nil, fmt.Errorf("alloc: unsupported arena version %d", got)
+	}
+	if got := a.readU64(base + offSize); got != size {
+		return nil, fmt.Errorf("alloc: arena size %d, expected %d", got, size)
+	}
+	brk := a.readU64(base + offBrk)
+	if brk < base+headerSize || brk > base+size {
+		return nil, fmt.Errorf("alloc: brk %#x outside arena", brk)
+	}
+	return a, nil
+}
+
+func (a *Arena) readU64(addr uint64) uint64 {
+	var b [8]byte
+	a.mem.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (a *Arena) writeU64(addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	a.mem.Store(addr, b[:])
+}
+
+// Mem implements memory.Allocator.
+func (a *Arena) Mem() memory.Memory { return a.mem }
+
+// Base reports the arena's base address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// HeapStart reports the first usable heap address (after the header); pools
+// place their root table here via a fixed-size initial allocation.
+func (a *Arena) HeapStart() uint64 { return roundUp(a.base+headerSize, heapAlign) }
+
+// carve advances brk by n bytes, returning the old frontier.
+func (a *Arena) carve(n uint64) (uint64, error) {
+	brk := a.readU64(a.base + offBrk)
+	if brk+n > a.base+a.size || brk+n < brk {
+		return 0, fmt.Errorf("%w: need %d bytes, %d remain", ErrOutOfMemory, n, a.base+a.size-brk)
+	}
+	a.writeU64(a.base+offBrk, brk+n)
+	return brk, nil
+}
+
+// Alloc returns a block of at least size bytes, 16-byte aligned. Small sizes
+// come from per-class free lists, large sizes from a first-fit list of
+// page-rounded blocks; both fall back to carving fresh space.
+func (a *Arena) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, errors.New("alloc: zero-size allocation")
+	}
+	a.AllocCalls++
+	if c := classFor(size); c >= 0 {
+		headAddr := a.base + offClasses + uint64(c)*8
+		if head := a.readU64(headAddr); head != 0 {
+			next := a.readU64(head) // free block stores next pointer inline
+			a.writeU64(headAddr, next)
+			a.BytesAllocated += classSize(c)
+			return head, nil
+		}
+		addr, err := a.carve(classSize(c))
+		if err != nil {
+			return 0, err
+		}
+		a.BytesAllocated += classSize(c)
+		return addr, nil
+	}
+
+	// Large allocation: first fit over the large list.
+	need := roundUp(size, pageRound)
+	prevAddr := a.base + offLarge
+	cur := a.readU64(prevAddr)
+	for cur != 0 {
+		curNext := a.readU64(cur)
+		curSize := a.readU64(cur + 8)
+		if curSize >= need {
+			if rem := curSize - need; rem >= pageRound {
+				// Split: the remainder stays on the list in place.
+				remAddr := cur + need
+				a.writeU64(remAddr, curNext)
+				a.writeU64(remAddr+8, rem)
+				a.writeU64(prevAddr, remAddr)
+			} else {
+				a.writeU64(prevAddr, curNext)
+			}
+			a.BytesAllocated += need
+			return cur, nil
+		}
+		prevAddr = cur
+		cur = curNext
+	}
+	addr, err := a.carve(need)
+	if err != nil {
+		return 0, err
+	}
+	a.BytesAllocated += need
+	return addr, nil
+}
+
+// Free returns a block obtained from Alloc with the same size. Small blocks
+// push onto their class list; large blocks onto the large list. Free never
+// touches user data beyond the block's first 16 bytes.
+func (a *Arena) Free(addr, size uint64) error {
+	if addr < a.base+headerSize || addr >= a.base+a.size {
+		return fmt.Errorf("alloc: free of %#x outside arena heap", addr)
+	}
+	a.FreeCalls++
+	if c := classFor(size); c >= 0 {
+		headAddr := a.base + offClasses + uint64(c)*8
+		a.writeU64(addr, a.readU64(headAddr))
+		a.writeU64(headAddr, addr)
+		return nil
+	}
+	need := roundUp(size, pageRound)
+	headAddr := a.base + offLarge
+	a.writeU64(addr, a.readU64(headAddr))
+	a.writeU64(addr+8, need)
+	a.writeU64(headAddr, addr)
+	return nil
+}
+
+// Brk reports the current bump frontier (diagnostics and capacity tests).
+func (a *Arena) Brk() uint64 { return a.readU64(a.base + offBrk) }
+
+// FreeListLens reports the length of each small-class free list plus the
+// large list (diagnostics; also exercised by recovery tests to show that
+// allocator state rolls back with the snapshot).
+func (a *Arena) FreeListLens() ([numClasses]int, int) {
+	var out [numClasses]int
+	for c := 0; c < numClasses; c++ {
+		n := 0
+		for cur := a.readU64(a.base + offClasses + uint64(c)*8); cur != 0; cur = a.readU64(cur) {
+			n++
+		}
+		out[c] = n
+	}
+	large := 0
+	for cur := a.readU64(a.base + offLarge); cur != 0; cur = a.readU64(cur) {
+		large++
+	}
+	return out, large
+}

@@ -1,0 +1,98 @@
+// Package amat implements the paper's Figure 2a methodology: combine demand
+// miss rates measured on the simulated cache hierarchy with per-medium
+// service latencies to estimate average memory access time for DRAM, raw PM,
+// PM behind a CXL-class PAX, and PM behind an Enzian-class PAX.
+//
+//	AMAT = L1 + m1·(L2 + m2·(LLC + m3·memService))
+//
+// where mᵢ are the per-level demand miss rates. The memService term is what
+// distinguishes configurations; for PAX configurations it includes the link
+// round trip, the device pipeline, and the HBM-vs-PM mix.
+package amat
+
+import (
+	"fmt"
+
+	"pax/internal/sim"
+)
+
+// MissRates holds the measured demand miss rates of each cache level.
+type MissRates struct {
+	L1, L2, LLC float64
+}
+
+// Validate reports whether every rate is a probability.
+func (m MissRates) Validate() error {
+	for _, r := range []float64{m.L1, m.L2, m.LLC} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("amat: miss rate %g outside [0,1]", r)
+		}
+	}
+	return nil
+}
+
+// AMAT computes the average memory access time for the given miss rates and
+// the service time of an LLC miss.
+func AMAT(m MissRates, memService sim.Time) sim.Time {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	llcTerm := float64(sim.LLCLatency) + m.LLC*float64(memService)
+	l2Term := float64(sim.L2Latency) + m.L2*llcTerm
+	return sim.L1Latency + sim.Time(m.L1*(l2Term))
+}
+
+// MemServiceDRAM is the LLC-miss service time for local DRAM.
+func MemServiceDRAM() sim.Time { return sim.DRAMLatency }
+
+// MemServicePM is the LLC-miss service time for CPU-attached Optane (not
+// crash consistent).
+func MemServicePM() sim.Time { return sim.PMReadLatency }
+
+// MemServicePAX is the LLC-miss service time through a PAX device on the
+// given link: request + response link latency, the device message pipeline,
+// and the expected media time given the device's HBM hit rate.
+func MemServicePAX(link sim.LinkProfile, hbmHitRate float64) sim.Time {
+	if hbmHitRate < 0 || hbmHitRate > 1 {
+		panic(fmt.Sprintf("amat: hbm hit rate %g outside [0,1]", hbmHitRate))
+	}
+	pipe := sim.Time(float64(link.PipelineDepth) * float64(sim.Second) / link.DeviceHz)
+	media := hbmHitRate*float64(sim.HBMLatency) + (1-hbmHitRate)*float64(sim.PMReadLatency)
+	return link.RoundTrip() + pipe + sim.Time(media)
+}
+
+// Row is one Figure 2a bar.
+type Row struct {
+	Config     string
+	MemService sim.Time
+	AMAT       sim.Time
+	// OverPM is this configuration's AMAT relative to raw PM (the paper's
+	// "~25% over PM" claim for CXL).
+	OverPM float64
+}
+
+// Figure2a produces the four paper configurations for the given measured
+// miss rates and the HBM hit rate observed on the device.
+func Figure2a(m MissRates, hbmHitRate float64) []Row {
+	configs := []struct {
+		name    string
+		service sim.Time
+	}{
+		{"DRAM", MemServiceDRAM()},
+		{"PM", MemServicePM()},
+		{"PM via CXL", MemServicePAX(sim.CXLLink, hbmHitRate)},
+		{"PM via Enzian", MemServicePAX(sim.EnzianLink, hbmHitRate)},
+	}
+	pmAMAT := AMAT(m, MemServicePM())
+	rows := make([]Row, len(configs))
+	for i, c := range configs {
+		a := AMAT(m, c.service)
+		rows[i] = Row{
+			Config:     c.name,
+			MemService: c.service,
+			AMAT:       a,
+			OverPM:     float64(a) / float64(pmAMAT),
+		}
+	}
+	return rows
+}

@@ -1,0 +1,115 @@
+package amat
+
+import (
+	"testing"
+
+	"pax/internal/sim"
+)
+
+func TestAMATFormula(t *testing.T) {
+	// All hits: AMAT = L1 latency.
+	if got := AMAT(MissRates{}, sim.PMReadLatency); got != sim.L1Latency {
+		t.Fatalf("all-hit AMAT = %v", got)
+	}
+	// All misses: L1 + L2 + LLC + mem.
+	want := sim.L1Latency + sim.L2Latency + sim.LLCLatency + sim.PMReadLatency
+	if got := AMAT(MissRates{1, 1, 1}, sim.PMReadLatency); got != want {
+		t.Fatalf("all-miss AMAT = %v, want %v", got, want)
+	}
+	// Partial: hand-computed.
+	m := MissRates{L1: 0.1, L2: 0.5, LLC: 0.6}
+	got := AMAT(m, sim.NS(300))
+	manual := float64(sim.L1Latency) + 0.1*(float64(sim.L2Latency)+0.5*(float64(sim.LLCLatency)+0.6*float64(sim.NS(300))))
+	if got != sim.Time(manual) {
+		t.Fatalf("AMAT = %v, want %v", got, sim.Time(manual))
+	}
+}
+
+func TestAMATValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AMAT(MissRates{L1: 1.5}, 0)
+}
+
+func TestMemServiceOrdering(t *testing.T) {
+	if MemServiceDRAM() >= MemServicePM() {
+		t.Fatal("DRAM must be faster than PM")
+	}
+	cxl := MemServicePAX(sim.CXLLink, 0)
+	if cxl <= MemServicePM() {
+		t.Fatal("PAX adds latency over raw PM")
+	}
+	enzian := MemServicePAX(sim.EnzianLink, 0)
+	if enzian <= cxl {
+		t.Fatal("Enzian must be slower than CXL")
+	}
+	// HBM hits reduce service time.
+	if MemServicePAX(sim.CXLLink, 0.9) >= MemServicePAX(sim.CXLLink, 0.1) {
+		t.Fatal("HBM hit rate must lower service time")
+	}
+}
+
+func TestMemServicePAXValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MemServicePAX(sim.CXLLink, 1.5)
+}
+
+func TestFigure2aShape(t *testing.T) {
+	// Representative miss rates from a large uniform-random hash workload.
+	// HBM hit rate 0: a uniform workload over a table far larger than the
+	// device cache — the conservative regime Figure 2a plots.
+	m := MissRates{L1: 0.15, L2: 0.6, LLC: 0.7}
+	rows := Figure2a(m, 0)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	dram, pm := byName["DRAM"], byName["PM"]
+	cxl, enzian := byName["PM via CXL"], byName["PM via Enzian"]
+
+	// The paper's qualitative claims:
+	if !(dram.AMAT < pm.AMAT && pm.AMAT < cxl.AMAT && cxl.AMAT < enzian.AMAT) {
+		t.Fatalf("ordering violated: %v %v %v %v", dram.AMAT, pm.AMAT, cxl.AMAT, enzian.AMAT)
+	}
+	// CXL-PAX adds modest overhead over raw PM (paper: ~25%; accept < 60%).
+	if cxl.OverPM < 1.0 || cxl.OverPM > 1.6 {
+		t.Fatalf("CXL over PM = %.2fx", cxl.OverPM)
+	}
+	// Enzian ≈ 2× the CXL PAX (paper claim); accept 1.5–3×.
+	ratio := float64(enzian.AMAT) / float64(cxl.AMAT)
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("Enzian/CXL = %.2fx", ratio)
+	}
+	if pm.OverPM != 1.0 {
+		t.Fatalf("PM over itself = %g", pm.OverPM)
+	}
+}
+
+func TestHBMCanBeatRawPM(t *testing.T) {
+	// §5's optimism: with a hot working set largely resident in device HBM,
+	// a CXL PAX can serve misses faster than raw Optane.
+	m := MissRates{L1: 0.15, L2: 0.6, LLC: 0.7}
+	rows := Figure2a(m, 0.9)
+	var pm, cxl Row
+	for _, r := range rows {
+		switch r.Config {
+		case "PM":
+			pm = r
+		case "PM via CXL":
+			cxl = r
+		}
+	}
+	if cxl.AMAT >= pm.AMAT {
+		t.Fatalf("90%% HBM hits: CXL %v not faster than PM %v", cxl.AMAT, pm.AMAT)
+	}
+}

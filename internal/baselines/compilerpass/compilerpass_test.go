@@ -1,0 +1,114 @@
+package compilerpass
+
+import (
+	"testing"
+
+	"pax/internal/baselines/wal"
+	"pax/internal/cache"
+	"pax/internal/memory"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+)
+
+const (
+	logBase = 0
+	logSize = 1 << 20
+	dataPos = 2 << 20
+	pmSize  = 4 << 20
+)
+
+func fixture(t *testing.T) (*pmem.Device, *cache.Core) {
+	t.Helper()
+	pm := pmem.New(pmem.DefaultConfig(pmSize))
+	return pm, attach(pm)
+}
+
+func attach(pm *pmem.Device) *cache.Core {
+	h := cache.NewHierarchy(sim.SmallHost())
+	h.AddRange(0, pmSize, memory.NewControllerHome(pm, 0, 0, pmSize))
+	return h.Core(0)
+}
+
+func TestEveryStoreLogged(t *testing.T) {
+	_, core := fixture(t)
+	in := New(core, logBase, logSize)
+	in.BeginOp()
+	in.Store(dataPos, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	in.Store(dataPos, []byte{9, 9, 9, 9, 9, 9, 9, 9}) // same location: logged again
+	in.Store(dataPos, []byte{5, 5, 5, 5, 5, 5, 5, 5})
+	in.EndOp()
+	if got := in.Log().Appends.Load(); got != 3 {
+		t.Fatalf("appends = %d, want 3 (no dedup in a compiler pass)", got)
+	}
+}
+
+func TestRollbackRestoresPreOpState(t *testing.T) {
+	pm, core := fixture(t)
+	core.Store(dataPos, []byte("stable!!"))
+	core.FlushLines(dataPos, 8)
+	core.Fence()
+
+	in := New(core, logBase, logSize)
+	in.BeginOp()
+	in.Store(dataPos, []byte("wrecked1"))
+	in.Store(dataPos, []byte("wrecked2"))
+	// Crash without EndOp; instrumented stores were individually flushed,
+	// so the damage is on media.
+	core2 := attach(pm)
+	log2, err := wal.Open(core2, logBase, logSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := log2.Recover(); n != 2 {
+		t.Fatalf("recovered %d", n)
+	}
+	buf := make([]byte, 8)
+	core2.Load(dataPos, buf)
+	if string(buf) != "stable!!" {
+		t.Fatalf("recovered %q", buf)
+	}
+}
+
+func TestMoreFencesThanPMDKShape(t *testing.T) {
+	// The pass fences per store; for an op with N same-chunk stores it pays
+	// N fences where the hand-crafted baseline pays 1.
+	_, core := fixture(t)
+	in := New(core, logBase, logSize)
+	in.BeginOp()
+	for i := 0; i < 10; i++ {
+		in.Store(dataPos, []byte{byte(i), 0, 0, 0, 0, 0, 0, 0})
+	}
+	in.EndOp()
+	if got := in.Log().Fences.Load(); got < 11 { // 10 appends + commit
+		t.Fatalf("fences = %d, want ≥ 11", got)
+	}
+}
+
+func TestOpDisciplinePanics(t *testing.T) {
+	_, core := fixture(t)
+	in := New(core, logBase, logSize)
+	for _, f := range []func(){
+		func() { in.Store(dataPos, []byte{1}) }, // store outside op
+		func() { in.EndOp() },                   // end without begin
+		func() { in.BeginOp(); in.BeginOp() },   // nested
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLoadsNotInstrumented(t *testing.T) {
+	_, core := fixture(t)
+	in := New(core, logBase, logSize)
+	buf := make([]byte, 8)
+	in.Load(dataPos, buf) // outside any op: fine
+	if in.Log().Appends.Load() != 0 {
+		t.Fatal("load appended to log")
+	}
+}

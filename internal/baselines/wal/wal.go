@@ -1,0 +1,212 @@
+// Package wal implements the software write-ahead undo log shared by the
+// PMDK-style and compiler-pass baselines: variable-length undo records in a
+// PM region, made durable with CLWB+SFENCE before the data they protect is
+// modified, and rolled back in reverse order on recovery.
+//
+// This is the §2 mechanism the paper contrasts PAX against: every append
+// costs a PM write plus flush, and the ordering rule ("log entry durable
+// before the store") forces the fence stalls that PAX eliminates by logging
+// asynchronously on the device.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"pax/internal/memory"
+	"pax/internal/sim"
+	"pax/internal/stats"
+)
+
+const (
+	headerSize    = 64
+	recordFixed   = 24                 // addr u64 | len u32 | crc u32 | seq u64
+	walMagic      = 0x5041585357414c31 // "PAXSWAL1"
+	offMagic      = 0
+	offActive     = 8 // activeBytes: length of live undo data; 0 = no open tx
+	offRegionSize = 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// staller is implemented by cache.Core; the log charges record-formatting
+// CPU time through it.
+type staller interface {
+	Stall(d sim.Time) sim.Time
+}
+
+// Record is one undo record: the pre-image of [Addr, Addr+len(Old)).
+type Record struct {
+	Addr uint64
+	Old  []byte
+}
+
+// Log is a software undo log in [base, base+size) of a persistent Memory.
+// The caller's Memory must also implement memory.Persister (flush/fence);
+// the log charges those costs exactly where real WAL code incurs them.
+type Log struct {
+	mem  memory.Memory
+	per  memory.Persister
+	base uint64
+	size uint64
+
+	active uint64 // in-memory mirror of the activeBytes field
+	seq    uint64
+
+	// Appends counts records; AppendedBytes counts undo payload volume
+	// (write-amplification accounting); Fences counts ordering stalls
+	// issued by the log itself.
+	Appends       stats.Counter
+	AppendedBytes stats.Counter
+	Fences        stats.Counter
+}
+
+// Create formats an empty log. mem must implement memory.Persister.
+func Create(mem memory.Memory, base, size uint64) *Log {
+	per, ok := mem.(memory.Persister)
+	if !ok {
+		panic("wal: memory must implement Persister")
+	}
+	if size < headerSize+recordFixed {
+		panic(fmt.Sprintf("wal: region of %d bytes too small", size))
+	}
+	l := &Log{mem: mem, per: per, base: base, size: size}
+	l.putU64(base+offMagic, walMagic)
+	l.putU64(base+offActive, 0)
+	l.putU64(base+offRegionSize, size)
+	per.FlushLines(base, headerSize)
+	per.Fence()
+	return l
+}
+
+// Open attaches to an existing log without recovery (call Recover to roll
+// back an interrupted transaction first).
+func Open(mem memory.Memory, base, size uint64) (*Log, error) {
+	per, ok := mem.(memory.Persister)
+	if !ok {
+		panic("wal: memory must implement Persister")
+	}
+	l := &Log{mem: mem, per: per, base: base, size: size}
+	if got := l.getU64(base + offMagic); got != walMagic {
+		return nil, fmt.Errorf("wal: bad magic %#x", got)
+	}
+	if got := l.getU64(base + offRegionSize); got != size {
+		return nil, fmt.Errorf("wal: region size %d, expected %d", got, size)
+	}
+	l.active = l.getU64(base + offActive)
+	return l, nil
+}
+
+func (l *Log) putU64(addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	l.mem.Store(addr, b[:])
+}
+
+func (l *Log) getU64(addr uint64) uint64 {
+	var b [8]byte
+	l.mem.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Begin opens a transaction. Nested transactions are not supported; the
+// baselines run one transaction per structure operation.
+func (l *Log) Begin() {
+	if l.active != 0 {
+		panic("wal: transaction already open")
+	}
+}
+
+// Append durably records the pre-image `old` of addr before the caller
+// overwrites it. On return the record and the active-length field are
+// durable (CLWB + SFENCE), which is the ordering stall WAL cannot avoid.
+func (l *Log) Append(addr uint64, old []byte) sim.Time {
+	need := uint64(recordFixed + len(old))
+	if headerSize+l.active+need > l.size {
+		panic(fmt.Sprintf("wal: log full (%d of %d bytes live)", l.active, l.size-headerSize))
+	}
+	// CPU cost of formatting the record (the instrumentation instructions a
+	// compiler pass or PMDK macro injects).
+	if s, ok := l.mem.(staller); ok {
+		s.Stall(sim.LogAppendCPU)
+	}
+	rec := l.base + headerSize + l.active
+	var fixed [recordFixed]byte
+	binary.LittleEndian.PutUint64(fixed[0:], addr)
+	binary.LittleEndian.PutUint32(fixed[8:], uint32(len(old)))
+	crc := crc32.Checksum(old, crcTable)
+	binary.LittleEndian.PutUint32(fixed[12:], crc)
+	binary.LittleEndian.PutUint64(fixed[16:], l.seq)
+	l.seq++
+	l.mem.Store(rec, fixed[:])
+	l.mem.Store(rec+recordFixed, old)
+	l.active += need
+	l.putU64(l.base+offActive, l.active)
+
+	// Durability order: record plus header must be persistent before the
+	// caller's store proceeds.
+	l.per.FlushLines(rec, int(need))
+	l.per.FlushLines(l.base+offActive, 8)
+	done := l.per.Fence()
+	l.Appends.Inc()
+	l.AppendedBytes.Add(uint64(len(old)))
+	l.Fences.Inc()
+	return done
+}
+
+// Commit ends the transaction: the caller has already flushed its data
+// stores; the log drops its records by zeroing the active length, durably.
+func (l *Log) Commit() sim.Time {
+	l.active = 0
+	l.putU64(l.base+offActive, 0)
+	l.per.FlushLines(l.base+offActive, 8)
+	done := l.per.Fence()
+	l.Fences.Inc()
+	return done
+}
+
+// ActiveBytes reports the live undo payload (0 between transactions).
+func (l *Log) ActiveBytes() uint64 { return l.active }
+
+// Records returns the live undo records in append order. Recovery applies
+// them in reverse.
+func (l *Log) Records() []Record {
+	var out []Record
+	off := uint64(0)
+	for off < l.active {
+		rec := l.base + headerSize + off
+		var fixed [recordFixed]byte
+		l.mem.Load(rec, fixed[:])
+		addr := binary.LittleEndian.Uint64(fixed[0:])
+		n := binary.LittleEndian.Uint32(fixed[8:])
+		crc := binary.LittleEndian.Uint32(fixed[12:])
+		old := make([]byte, n)
+		l.mem.Load(rec+recordFixed, old)
+		if crc32.Checksum(old, crcTable) != crc {
+			// A torn record means the crash hit mid-append; the data store
+			// it guards never happened, so stopping here is safe.
+			break
+		}
+		out = append(out, Record{Addr: addr, Old: old})
+		off += recordFixed + uint64(n)
+	}
+	return out
+}
+
+// Recover rolls back an interrupted transaction: live records are applied
+// in reverse order, then the log is cleared. It reports how many records
+// were undone.
+func (l *Log) Recover() int {
+	recs := l.Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		l.mem.Store(recs[i].Addr, recs[i].Old)
+		l.per.FlushLines(recs[i].Addr, len(recs[i].Old))
+	}
+	l.per.Fence()
+	l.active = 0
+	l.putU64(l.base+offActive, 0)
+	l.per.FlushLines(l.base+offActive, 8)
+	l.per.Fence()
+	return len(recs)
+}

@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"pax/internal/cache"
+	"pax/internal/memory"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+)
+
+// fixture builds a PM device fronted by a fresh host hierarchy; "crashing"
+// means building a new hierarchy over the same media (volatile caches die,
+// flushed data survives).
+func fixture(t *testing.T, size int) (*pmem.Device, *cache.Core) {
+	t.Helper()
+	pm := pmem.New(pmem.DefaultConfig(size))
+	return pm, attach(pm, size)
+}
+
+func attach(pm *pmem.Device, size int) *cache.Core {
+	h := cache.NewHierarchy(sim.SmallHost())
+	h.AddRange(0, uint64(size), memory.NewControllerHome(pm, 0, 0, uint64(size)))
+	return h.Core(0)
+}
+
+func TestAppendCommitCycle(t *testing.T) {
+	_, core := fixture(t, 1<<20)
+	l := Create(core, 0, 64<<10)
+	l.Begin()
+	if done := l.Append(100000, []byte{1, 2, 3, 4, 5, 6, 7, 8}); done <= 0 {
+		t.Fatal("append reported no time")
+	}
+	if l.ActiveBytes() == 0 {
+		t.Fatal("no active bytes after append")
+	}
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Addr != 100000 || !bytes.Equal(recs[0].Old, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("records = %+v", recs)
+	}
+	l.Commit()
+	if l.ActiveBytes() != 0 || len(l.Records()) != 0 {
+		t.Fatal("commit did not clear log")
+	}
+	if l.Appends.Load() != 1 || l.Fences.Load() != 2 {
+		t.Fatalf("appends=%d fences=%d", l.Appends.Load(), l.Fences.Load())
+	}
+}
+
+func TestRecoverAppliesReverseOrder(t *testing.T) {
+	pm, core := fixture(t, 1<<20)
+	l := Create(core, 0, 64<<10)
+	dataAddr := uint64(512 << 10)
+
+	// Initial durable value.
+	core.Store(dataAddr, []byte{0xAA})
+	core.FlushLines(dataAddr, 1)
+	core.Fence()
+
+	// Open tx: two updates to the SAME address, logging pre-images.
+	l.Begin()
+	var old [1]byte
+	core.Load(dataAddr, old[:])
+	l.Append(dataAddr, old[:]) // pre-image 0xAA
+	core.Store(dataAddr, []byte{0xBB})
+	core.Load(dataAddr, old[:])
+	l.Append(dataAddr, old[:]) // pre-image 0xBB
+	core.Store(dataAddr, []byte{0xCC})
+	core.FlushLines(dataAddr, 1)
+	core.Fence()
+	// Crash without commit.
+
+	core2 := attach(pm, 1<<20)
+	l2, err := Open(core2, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := l2.Recover(); n != 2 {
+		t.Fatalf("recovered %d records", n)
+	}
+	var got [1]byte
+	core2.Load(dataAddr, got[:])
+	// Reverse application: 0xBB restored first, then 0xAA — final 0xAA.
+	if got[0] != 0xAA {
+		t.Fatalf("recovered value %#x, want 0xAA", got[0])
+	}
+	if l2.ActiveBytes() != 0 {
+		t.Fatal("recover did not clear log")
+	}
+}
+
+func TestCommittedTxNotRolledBack(t *testing.T) {
+	pm, core := fixture(t, 1<<20)
+	l := Create(core, 0, 64<<10)
+	dataAddr := uint64(512 << 10)
+
+	l.Begin()
+	var old [8]byte
+	core.Load(dataAddr, old[:])
+	l.Append(dataAddr, old[:])
+	core.Store(dataAddr, []byte("COMMITTD"))
+	core.FlushLines(dataAddr, 8)
+	core.Fence()
+	l.Commit()
+
+	core2 := attach(pm, 1<<20)
+	l2, err := Open(core2, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := l2.Recover(); n != 0 {
+		t.Fatalf("committed tx rolled back (%d records)", n)
+	}
+	var got [8]byte
+	core2.Load(dataAddr, got[:])
+	if string(got[:]) != "COMMITTD" {
+		t.Fatalf("committed data lost: %q", got)
+	}
+}
+
+func TestTornRecordStopsScan(t *testing.T) {
+	pm, core := fixture(t, 1<<20)
+	l := Create(core, 0, 64<<10)
+	l.Begin()
+	l.Append(100000, []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	l.Append(200000, []byte{2, 2, 2, 2, 2, 2, 2, 2})
+	// Tear the second record's payload on media.
+	secondRec := uint64(headerSize + recordFixed + 8 + recordFixed)
+	pm.InjectTear(secondRec, 8, 0)
+
+	core2 := attach(pm, 1<<20)
+	l2, err := Open(core2, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := l2.Records()
+	if len(recs) != 1 || recs[0].Addr != 100000 {
+		t.Fatalf("torn record not rejected: %+v", recs)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	_, core := fixture(t, 1<<20)
+	if _, err := Open(core, 0, 64<<10); err == nil {
+		t.Fatal("opened unformatted log")
+	}
+	Create(core, 0, 64<<10)
+	if _, err := Open(core, 0, 32<<10); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestLogFullPanics(t *testing.T) {
+	_, core := fixture(t, 1<<20)
+	l := Create(core, 0, headerSize+recordFixed+8)
+	l.Begin()
+	l.Append(0, make([]byte, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on full log")
+		}
+	}()
+	l.Append(0, make([]byte, 8))
+}
+
+func TestDoubleBeginPanics(t *testing.T) {
+	_, core := fixture(t, 1<<20)
+	l := Create(core, 0, 64<<10)
+	l.Begin()
+	l.Append(0, make([]byte, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Begin()
+}

@@ -1,0 +1,201 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+
+	"pax/internal/workload"
+)
+
+func quickRun(t *testing.T, kind SystemKind, spec RunSpec) RunResult {
+	t.Helper()
+	f, err := Build(kind, TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunKV(f, spec)
+}
+
+func writeSpec(persistEvery int) RunSpec {
+	return RunSpec{
+		Workload:     workload.Fig2bConfig(1000),
+		LoadKeys:     1000,
+		MeasureOps:   2000,
+		PersistEvery: persistEvery,
+	}
+}
+
+func TestAllFixturesBuildAndRun(t *testing.T) {
+	for _, kind := range []SystemKind{DRAM, PMDirect, PMDK, CompilerPass, PageFault, PAXCXL, PAXEnzian} {
+		f, err := Build(kind, TestConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		persistEvery := 0
+		if kind == PageFault || kind == PAXCXL || kind == PAXEnzian {
+			persistEvery = 500
+		}
+		res := RunKV(f, RunSpec{
+			Workload:     workload.Fig2bConfig(500),
+			LoadKeys:     500,
+			MeasureOps:   1000,
+			PersistEvery: persistEvery,
+		})
+		if res.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %g", kind, res.NsPerOp)
+		}
+		if res.MopsSingle() <= 0 {
+			t.Fatalf("%s: zero throughput", kind)
+		}
+		// Functional check: the map must answer gets after the run.
+		g := workload.NewGenerator(workload.Fig2bConfig(500))
+		found := 0
+		for i := uint64(0); i < 500; i++ {
+			if _, ok := f.Map.Get(g.MakeKey(i)); ok {
+				found++
+			}
+		}
+		if found != 500 {
+			t.Fatalf("%s: only %d/500 keys survive the run", kind, found)
+		}
+	}
+}
+
+func TestPerformanceOrdering(t *testing.T) {
+	dram := quickRun(t, DRAM, writeSpec(0))
+	pmDirect := quickRun(t, PMDirect, writeSpec(0))
+	pmdkRes := quickRun(t, PMDK, writeSpec(0))
+	cp := quickRun(t, CompilerPass, writeSpec(0))
+	pax := quickRun(t, PAXCXL, writeSpec(500))
+
+	// The paper's qualitative claims, in ns/op (lower is better):
+	if !(dram.NsPerOp < pmDirect.NsPerOp) {
+		t.Errorf("DRAM (%.0f) not faster than PM direct (%.0f)", dram.NsPerOp, pmDirect.NsPerOp)
+	}
+	if !(pmDirect.NsPerOp < pmdkRes.NsPerOp) {
+		t.Errorf("PM direct (%.0f) not faster than PMDK (%.0f)", pmDirect.NsPerOp, pmdkRes.NsPerOp)
+	}
+	// On update-in-place workloads the two WAL variants coincide (one chunk
+	// per op); the hand-crafted advantage appears on multi-store ops, which
+	// TestStallAccounting checks with an insert-heavy workload. Here the
+	// pass must merely never beat the hand-crafted code.
+	if pmdkRes.NsPerOp > cp.NsPerOp {
+		t.Errorf("hand-crafted PMDK (%.0f) slower than compiler pass (%.0f)", pmdkRes.NsPerOp, cp.NsPerOp)
+	}
+	// §5: PAX with group commit beats the synchronous WAL.
+	if !(pax.NsPerOp < pmdkRes.NsPerOp) {
+		t.Errorf("PAX (%.0f) not faster than PMDK (%.0f)", pax.NsPerOp, pmdkRes.NsPerOp)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	// Insert-heavy spec (no pre-load): each put allocates and links a node,
+	// so ops have several stores — where per-store instrumentation (the
+	// compiler pass) pays more fences than chunk-deduplicating PMDK.
+	insertSpec := func(persistEvery int) RunSpec {
+		return RunSpec{
+			Workload:     workload.Fig2bConfig(4000),
+			MeasureOps:   2000,
+			PersistEvery: persistEvery,
+		}
+	}
+	pmdkRes := quickRun(t, PMDK, insertSpec(0))
+	cp := quickRun(t, CompilerPass, insertSpec(0))
+	pax := quickRun(t, PAXCXL, insertSpec(500))
+
+	if pmdkRes.FencesPerOp < 1 {
+		t.Errorf("PMDK fences/op = %.2f, want ≥ 1", pmdkRes.FencesPerOp)
+	}
+	if cp.FencesPerOp <= pmdkRes.FencesPerOp {
+		t.Errorf("compiler pass fences/op %.2f not above PMDK %.2f", cp.FencesPerOp, pmdkRes.FencesPerOp)
+	}
+	if pax.FencesPerOp != 0 {
+		t.Errorf("PAX fences/op = %.2f, want 0 (stalls only in persist)", pax.FencesPerOp)
+	}
+}
+
+func TestScaleModel(t *testing.T) {
+	res := quickRun(t, PMDirect, writeSpec(0))
+	f, _ := Build(PMDirect, TestConfig())
+	points := Scale(res, f.Caps(), []int{1, 8, 32})
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	if points[0].Mops <= 0 {
+		t.Fatal("zero single-thread throughput")
+	}
+	// Monotone non-decreasing in threads.
+	for i := 1; i < len(points); i++ {
+		if points[i].Mops < points[i-1].Mops {
+			t.Fatalf("throughput fell with threads: %+v", points)
+		}
+	}
+	// With absurdly low caps, the bottleneck must bind.
+	capped := Scale(res, Caps{PMWriteBW: 1, PMReadBW: 1}, []int{32})
+	if capped[0].Bottleneck == "cpu" {
+		t.Fatal("tiny caps did not bind")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds each")
+	}
+	cfg := TestConfig()
+	sz := Sizes{Keys: 500, MeasureOps: 600, PersistEvery: 100, Threads: []int{1, 8, 32}}
+	for _, e := range Experiments() {
+		tables := e.Run(cfg, sz)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", e.ID)
+		}
+		for _, tb := range tables {
+			out := tb.String()
+			if len(out) == 0 || !strings.Contains(out, "\n") {
+				t.Fatalf("%s produced empty table", e.ID)
+			}
+		}
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("fig2a"); !ok {
+		t.Fatal("fig2a missing")
+	}
+	if _, ok := Find("bogus"); ok {
+		t.Fatal("bogus found")
+	}
+	if len(Experiments()) != 19 {
+		t.Fatalf("%d experiments, want 19", len(Experiments()))
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	cfg := TestConfig()
+	sz := Sizes{Keys: 2000, MeasureOps: 2000, PersistEvery: 500, Threads: []int{1}}
+	tables := Fig2a(cfg, sz)
+	out := tables[0].String()
+	for _, want := range []string{"DRAM", "PM via CXL", "PM via Enzian", "amat_ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2a table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAmplificationShape(t *testing.T) {
+	cfg := TestConfig()
+	tables := WriteAmplification(cfg, QuickSizes())
+	out := tables[0].String()
+	if !strings.Contains(out, "one-per-page") {
+		t.Fatalf("missing pattern rows:\n%s", out)
+	}
+	// For the sparse pattern the page tracker must amplify far more than
+	// PAX; spot-check by re-measuring directly.
+	pf := mustBuild(PageFault, cfg)
+	base := cfg.LogSize + cfg.DataSize/2
+	stored := storePattern(pf.RawMem, base, 1<<18, "one-per-page")
+	pf.Persist()
+	wa := float64(pf.LoggedBytes()) / float64(stored)
+	if wa < 100 {
+		t.Fatalf("page-fault sparse write amplification = %.0f, want ≥ 100", wa)
+	}
+}

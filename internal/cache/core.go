@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"fmt"
+
+	"pax/internal/coherence"
+	"pax/internal/sim"
+)
+
+// Core is one simulated hardware thread with private L1/L2 caches and its own
+// virtual clock. Core implements the memory.Memory contract (Load/Store) and
+// the persistence primitives (FlushLines, Fence) used by WAL baselines.
+type Core struct {
+	h      *Hierarchy
+	id     int
+	l1, l2 *level
+	clock  *sim.Clock
+
+	// pendingDrain is the completion time of the latest outstanding CLWB
+	// write-back; Fence waits for it.
+	pendingDrain sim.Time
+}
+
+// ID reports the core's index in the hierarchy.
+func (c *Core) ID() int { return c.id }
+
+// Clock exposes the core's virtual clock.
+func (c *Core) Clock() *sim.Clock { return c.clock }
+
+// Now reports the core's current virtual time.
+func (c *Core) Now() sim.Time { return c.clock.Now() }
+
+// L1MissRate and L2MissRate report this core's private demand miss rates.
+func (c *Core) L1MissRate() float64 { return c.l1.Ratio.MissRate() }
+
+// L2MissRate reports the fraction of L1 misses that also missed in L2.
+func (c *Core) L2MissRate() float64 { return c.l2.Ratio.MissRate() }
+
+// spillL1 pushes an evicted L1 line down into L2. Inclusion guarantees the
+// line is present in L2; its state and dirty data are merged.
+func (c *Core) spillL1(victim *line) {
+	ln := c.l2.lookup(victim.tag)
+	if ln == nil {
+		panic(fmt.Sprintf("cache: core %d L1 victim %#x absent from L2 (inclusion violated)", c.id, victim.tag))
+	}
+	if victim.dirty {
+		ln.data = victim.data
+		ln.dirty = true
+	}
+	ln.state = victim.state
+}
+
+// insertL2 places a freshly filled line into L2, evicting a victim to the
+// LLC if needed (and back-invalidating the victim's L1 copy first).
+func (c *Core) insertL2(la uint64, state coherence.State, data *[LineSize]byte) {
+	victim := c.l2.victim(la)
+	if victim.valid {
+		vAddr := victim.tag
+		vData := victim.data
+		vDirty := victim.dirty
+		// L1 copy, if any, is newer; merge it before the line leaves the core.
+		if d, dirty, present := c.l1.invalidate(vAddr); present {
+			if dirty {
+				vData = d
+				vDirty = true
+			}
+		}
+		c.h.privateEvict(c, vAddr, &vData, vDirty)
+	}
+	c.l2.insert(victim, la, state, false, data)
+}
+
+// insertL1 places a line into L1, spilling any victim into L2.
+func (c *Core) insertL1(la uint64, state coherence.State, data *[LineSize]byte) *line {
+	victim := c.l1.victim(la)
+	if victim.valid {
+		c.spillL1(victim)
+	}
+	c.l1.insert(victim, la, state, false, data)
+	return victim
+}
+
+// access is the per-line MESI access path. It returns the L1 line holding la
+// (writable when write=true) and the access completion time. The hierarchy
+// lock must be held.
+func (c *Core) access(la uint64, write bool, at sim.Time) (*line, sim.Time) {
+	h := c.h
+
+	// L1 probe.
+	at += c.l1.latency
+	if ln := c.l1.lookup(la); ln != nil {
+		c.l1.Ratio.Hits.Inc()
+		c.l1.touch(ln)
+		if write && !ln.state.CanWrite() {
+			// Shared→Modified upgrade through the directory (and, for the
+			// first host-side modification, the home).
+			ll := h.llcLookup(la)
+			if ll == nil {
+				panic(fmt.Sprintf("cache: core %d upgrading %#x absent from LLC", c.id, la))
+			}
+			at += h.prof.LLC.Latency
+			h.invalidateSharers(ll, c.id)
+			at = h.hostUpgrade(ll, at)
+			ll.owner = c.id
+			ll.sharers = 0
+			ln.state = coherence.Modified
+			if l2ln := c.l2.lookup(la); l2ln != nil {
+				l2ln.state = coherence.Modified
+			}
+		}
+		if write {
+			ln.state = coherence.Modified
+			ln.dirty = true
+		}
+		return ln, at
+	}
+	c.l1.Ratio.Misses.Inc()
+
+	// L2 probe.
+	at += c.l2.latency
+	if ln := c.l2.lookup(la); ln != nil {
+		c.l2.Ratio.Hits.Inc()
+		c.l2.touch(ln)
+		if write && !ln.state.CanWrite() {
+			ll := h.llcLookup(la)
+			if ll == nil {
+				panic(fmt.Sprintf("cache: core %d upgrading %#x absent from LLC", c.id, la))
+			}
+			at += h.prof.LLC.Latency
+			h.invalidateSharers(ll, c.id)
+			at = h.hostUpgrade(ll, at)
+			ll.owner = c.id
+			ll.sharers = 0
+			ln.state = coherence.Modified
+		}
+		// Promote into L1.
+		l1ln := c.insertL1(la, ln.state, &ln.data)
+		l1ln.dirty = false // L2 retains the dirty responsibility until L1 rewrites
+		if write {
+			l1ln.state = coherence.Modified
+			l1ln.dirty = true
+		}
+		return l1ln, at
+	}
+	c.l2.Ratio.Misses.Inc()
+
+	// Fill from LLC or home.
+	data, state, done := h.fill(c, la, write, at)
+	c.insertL2(la, state, &data)
+	l1ln := c.insertL1(la, state, &data)
+	if write {
+		l1ln.state = coherence.Modified
+		l1ln.dirty = true
+		if l2ln := c.l2.lookup(la); l2ln != nil {
+			l2ln.state = coherence.Modified
+		}
+	}
+	return l1ln, done
+}
+
+// Load copies len(buf) bytes at addr into buf through the cache hierarchy,
+// advancing the core clock. It returns the new core time.
+func (c *Core) Load(addr uint64, buf []byte) sim.Time {
+	c.h.mu.Lock()
+	defer c.h.mu.Unlock()
+	at := c.clock.Now()
+	off := 0
+	for off < len(buf) {
+		la := coherence.LineAddr(addr + uint64(off))
+		lo := int(addr + uint64(off) - la)
+		n := LineSize - lo
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		ln, done := c.access(la, false, at)
+		copy(buf[off:off+n], ln.data[lo:lo+n])
+		at = done
+		off += n
+	}
+	return c.clock.AdvanceTo(at)
+}
+
+// Store writes data at addr through the cache hierarchy (write-back,
+// write-allocate), advancing the core clock. It returns the new core time.
+func (c *Core) Store(addr uint64, data []byte) sim.Time {
+	c.h.mu.Lock()
+	defer c.h.mu.Unlock()
+	at := c.clock.Now()
+	off := 0
+	for off < len(data) {
+		la := coherence.LineAddr(addr + uint64(off))
+		lo := int(addr + uint64(off) - la)
+		n := LineSize - lo
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		ln, done := c.access(la, true, at)
+		copy(ln.data[lo:lo+n], data[off:off+n])
+		at = done
+		off += n
+	}
+	return c.clock.AdvanceTo(at)
+}
+
+// FlushLines issues CLWB for every line overlapping [addr, addr+n): the
+// newest copy is written back to the home and all host copies become clean,
+// but remain cached. Durability is only guaranteed after a following Fence.
+func (c *Core) FlushLines(addr uint64, n int) sim.Time {
+	c.h.mu.Lock()
+	defer c.h.mu.Unlock()
+	h := c.h
+	at := c.clock.Now()
+	for la := coherence.LineAddr(addr); la < addr+uint64(n); la += LineSize {
+		at += sim.CLWBCost
+		ll := h.llcLookup(la)
+		if ll == nil {
+			continue // not cached anywhere on the host
+		}
+		if ll.owner >= 0 {
+			at = h.recallOwner(ll, false, at)
+		}
+		if ll.dirty {
+			h.WriteBacks.Inc()
+			done := h.home(la).WriteBackLine(la, ll.data[:], at)
+			ll.dirty = false
+			c.pendingDrain = sim.MaxTime(c.pendingDrain, done)
+		}
+	}
+	return c.clock.AdvanceTo(at)
+}
+
+// Stall charges d of software overhead (a page-fault trap, a syscall) to
+// this core's clock and returns the new time.
+func (c *Core) Stall(d sim.Time) sim.Time { return c.clock.Advance(d) }
+
+// Fence models SFENCE on a platform with ADR: it stalls the core until every
+// outstanding CLWB write-back has been accepted by its home (and is therefore
+// durable), plus the store-buffer drain cost.
+func (c *Core) Fence() sim.Time {
+	c.h.mu.Lock()
+	defer c.h.mu.Unlock()
+	c.clock.AdvanceTo(c.pendingDrain)
+	return c.clock.Advance(sim.SFenceDrain)
+}

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"fmt"
+
+	"pax/internal/coherence"
+)
+
+// CheckInvariants verifies the structural and MESI invariants of the whole
+// hierarchy and returns the first violation found, or nil. Tests call it
+// after every interesting operation sequence; it is deliberately exhaustive
+// rather than fast.
+//
+// Invariants:
+//  1. L1 ⊆ L2 at every core, and every private line is present in the LLC
+//     (inclusive hierarchy).
+//  2. At most one core holds a line in E or M (single-writer).
+//  3. The LLC directory matches reality: owner points at the core holding
+//     the E/M copy; sharer bits cover exactly the cores holding S copies.
+//  4. A line that is dirty anywhere on the host, or E/M at any core, is
+//     host-exclusive with respect to its home.
+//  5. Shared copies are never dirty.
+func (h *Hierarchy) CheckInvariants() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	type presence struct {
+		state coherence.State
+		dirty bool
+	}
+	// Gather per-core presence, authoritative level first (L1 over L2).
+	perCore := make([]map[uint64]presence, len(h.cores))
+	for i, c := range h.cores {
+		m := make(map[uint64]presence)
+		c.l2.forEachValid(func(ln *line) {
+			m[ln.tag] = presence{state: ln.state, dirty: ln.dirty}
+		})
+		var err error
+		c.l1.forEachValid(func(ln *line) {
+			p, ok := m[ln.tag]
+			if !ok {
+				err = fmt.Errorf("core %d: line %#x in L1 but not L2", i, ln.tag)
+				return
+			}
+			// L1 is authoritative for state; dirtiness accumulates.
+			m[ln.tag] = presence{state: ln.state, dirty: ln.dirty || p.dirty}
+		})
+		if err != nil {
+			return err
+		}
+		for tag, p := range m {
+			if p.state == coherence.Invalid {
+				return fmt.Errorf("core %d: line %#x cached in Invalid state", i, tag)
+			}
+			if p.state == coherence.Shared && func() bool {
+				if ln := c.l1.lookup(tag); ln != nil && ln.dirty {
+					return true
+				}
+				return false
+			}() {
+				return fmt.Errorf("core %d: line %#x Shared but dirty in L1", i, tag)
+			}
+		}
+		perCore[i] = m
+	}
+
+	// Walk the LLC and check the directory against gathered presence.
+	llcTags := make(map[uint64]*llcLine)
+	for s := range h.llcSets {
+		for w := range h.llcSets[s] {
+			ll := &h.llcSets[s][w]
+			if !ll.valid {
+				continue
+			}
+			llcTags[ll.tag] = ll
+
+			var exclHolders, shareHolders []int
+			anyDirty := ll.dirty
+			for i := range h.cores {
+				p, ok := perCore[i][ll.tag]
+				if !ok {
+					continue
+				}
+				anyDirty = anyDirty || p.dirty
+				switch p.state {
+				case coherence.Exclusive, coherence.Modified:
+					exclHolders = append(exclHolders, i)
+				case coherence.Shared:
+					shareHolders = append(shareHolders, i)
+				}
+			}
+			if len(exclHolders) > 1 {
+				return fmt.Errorf("line %#x: multiple exclusive holders %v", ll.tag, exclHolders)
+			}
+			if len(exclHolders) == 1 {
+				if len(shareHolders) > 0 {
+					return fmt.Errorf("line %#x: exclusive at core %d with sharers %v", ll.tag, exclHolders[0], shareHolders)
+				}
+				if ll.owner != exclHolders[0] {
+					return fmt.Errorf("line %#x: directory owner %d but core %d holds E/M", ll.tag, ll.owner, exclHolders[0])
+				}
+			} else if ll.owner >= 0 {
+				if _, ok := perCore[ll.owner][ll.tag]; !ok {
+					return fmt.Errorf("line %#x: directory owner %d holds nothing", ll.tag, ll.owner)
+				}
+			}
+			for _, i := range shareHolders {
+				if ll.sharers&(1<<uint(i)) == 0 && ll.owner != i {
+					return fmt.Errorf("line %#x: core %d holds S copy unknown to directory", ll.tag, i)
+				}
+			}
+			if anyDirty && !ll.hostExcl {
+				return fmt.Errorf("line %#x: dirty on host but not host-exclusive", ll.tag)
+			}
+			if len(exclHolders) == 1 && !ll.hostExcl {
+				st := perCore[exclHolders[0]][ll.tag].state
+				if st == coherence.Modified {
+					return fmt.Errorf("line %#x: Modified at core %d but not host-exclusive", ll.tag, exclHolders[0])
+				}
+			}
+		}
+	}
+
+	// Inclusion: every privately cached line must be in the LLC.
+	for i := range h.cores {
+		for tag := range perCore[i] {
+			if _, ok := llcTags[tag]; !ok {
+				return fmt.Errorf("core %d: line %#x cached privately but absent from LLC", i, tag)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package cache implements the simulated host cache hierarchy: per-core
+// private L1/L2 caches and a shared, inclusive last-level cache (LLC) with a
+// directory, kept coherent with MESI and connected to per-range homes (memory
+// controllers or the PAX device).
+//
+// The hierarchy is the functional memory path, not just a timing model: lines
+// hold real data, stores land in caches and reach the home only on eviction,
+// flush, or snoop. This matters because the PAX protocol's correctness
+// depends on exactly that behaviour — the device learns new values only via
+// write-backs and persist()-time snoops.
+package cache
+
+import (
+	"fmt"
+
+	"pax/internal/coherence"
+	"pax/internal/sim"
+	"pax/internal/stats"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = coherence.LineSize
+
+type line struct {
+	valid   bool
+	tag     uint64 // line-aligned base address
+	state   coherence.State
+	dirty   bool
+	data    [LineSize]byte
+	lastUse uint64
+}
+
+// level is one set-associative private cache level (L1 or L2).
+type level struct {
+	name    string
+	sets    [][]line
+	setMask uint64
+	latency sim.Time
+	useCtr  uint64
+
+	// Ratio counts demand accesses that hit/missed at this level.
+	Ratio stats.Ratio
+}
+
+func newLevel(name string, geom sim.CacheGeometry) *level {
+	lines := geom.SizeBytes / LineSize
+	if lines == 0 || geom.Ways <= 0 || lines%geom.Ways != 0 {
+		panic(fmt.Sprintf("cache: %s geometry %+v does not divide into sets", name, geom))
+	}
+	numSets := lines / geom.Ways
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s set count %d is not a power of two", name, numSets))
+	}
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, geom.Ways)
+	}
+	return &level{
+		name:    name,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		latency: geom.Latency,
+	}
+}
+
+func (l *level) set(addr uint64) []line {
+	return l.sets[(addr/LineSize)&l.setMask]
+}
+
+// lookup returns the line holding addr, or nil.
+func (l *level) lookup(addr uint64) *line {
+	set := l.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch refreshes LRU position for ln.
+func (l *level) touch(ln *line) {
+	l.useCtr++
+	ln.lastUse = l.useCtr
+}
+
+// victim returns the slot a new line for addr should occupy: an invalid way
+// if one exists, else the LRU way. The caller must handle eviction of the
+// returned line if it is valid.
+func (l *level) victim(addr uint64) *line {
+	set := l.set(addr)
+	var lru *line
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lastUse < lru.lastUse {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// insert places a line into the level; the slot must already be free (the
+// caller evicted any victim).
+func (l *level) insert(slot *line, addr uint64, state coherence.State, dirty bool, data *[LineSize]byte) {
+	slot.valid = true
+	slot.tag = addr
+	slot.state = state
+	slot.dirty = dirty
+	slot.data = *data
+	l.touch(slot)
+}
+
+// invalidate removes addr from the level, returning its data and dirtiness
+// if it was present and dirty.
+func (l *level) invalidate(addr uint64) (data [LineSize]byte, dirty, present bool) {
+	if ln := l.lookup(addr); ln != nil {
+		ln.valid = false
+		return ln.data, ln.dirty, true
+	}
+	return data, false, false
+}
+
+// forEachValid calls fn for every valid line in the level.
+func (l *level) forEachValid(fn func(*line)) {
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			if l.sets[s][w].valid {
+				fn(&l.sets[s][w])
+			}
+		}
+	}
+}
+
+// count reports the number of valid lines.
+func (l *level) count() int {
+	n := 0
+	l.forEachValid(func(*line) { n++ })
+	return n
+}

@@ -1,0 +1,101 @@
+package cxl
+
+import (
+	"pax/internal/sim"
+	"pax/internal/stats"
+)
+
+// Link models the host↔device transport: a fixed per-direction message
+// latency, per-direction payload bandwidth, and the device-side message
+// pipeline that the paper identifies as the Enzian prototype's bottleneck
+// (§5.1: a 300 MHz FPGA must respond to a coherence message on nearly every
+// cycle to keep up with host LLC miss rates).
+type Link struct {
+	prof sim.LinkProfile
+
+	h2d      *sim.BandwidthMeter
+	d2h      *sim.BandwidthMeter
+	pipeline *sim.Pipeline
+	tracer   *Tracer
+
+	// Messages counts every message carried in either direction.
+	Messages stats.Counter
+	// H2DMessages counts host-to-device traffic only (the device's inbound
+	// message rate, which the pipeline must sustain).
+	H2DMessages stats.Counter
+}
+
+// NewLink builds a link from a profile.
+func NewLink(prof sim.LinkProfile) *Link {
+	return &Link{
+		prof:     prof,
+		h2d:      sim.NewBandwidthMeter(prof.Name+"-h2d", prof.Bandwidth),
+		d2h:      sim.NewBandwidthMeter(prof.Name+"-d2h", prof.Bandwidth),
+		pipeline: sim.NewPipeline(prof.Name+"-pipe", prof.DeviceHz, prof.PipelineDepth),
+	}
+}
+
+// Profile reports the link's configuration.
+func (l *Link) Profile() sim.LinkProfile { return l.prof }
+
+// ToDevice carries a host→device message sent at `at` and returns its arrival
+// time at the device, after link latency and payload serialization.
+func (l *Link) ToDevice(m Message, at sim.Time) sim.Time {
+	l.Messages.Inc()
+	l.H2DMessages.Inc()
+	if l.tracer != nil {
+		l.tracer.record(H2D, m, at)
+	}
+	return l.h2d.Transfer(at, m.WireBytes()) + l.prof.Latency
+}
+
+// ToHost carries a device→host message sent at `at` and returns its arrival
+// time at the host.
+func (l *Link) ToHost(m Message, at sim.Time) sim.Time {
+	l.Messages.Inc()
+	if l.tracer != nil {
+		l.tracer.record(D2H, m, at)
+	}
+	return l.d2h.Transfer(at, m.WireBytes()) + l.prof.Latency
+}
+
+// DeviceProcess runs one message through the device's coherence pipeline,
+// returning when the device has produced its response or side effect.
+func (l *Link) DeviceProcess(arrive sim.Time) sim.Time {
+	return l.pipeline.Serve(arrive)
+}
+
+// RequestResponse is the common full round trip for a host request: send the
+// request, process it at the device, return the response. respPayload sets
+// whether the response carries line data.
+func (l *Link) RequestResponse(req Message, at sim.Time, respPayload bool) sim.Time {
+	arrive := l.ToDevice(req, at)
+	done := l.DeviceProcess(arrive)
+	resp := Message{Op: GO, Addr: req.Addr}
+	if respPayload {
+		resp.Data = make([]byte, DataBytes)
+	}
+	return l.ToHost(resp, done)
+}
+
+// PipelineRate reports the device's peak message rate (messages/second).
+func (l *Link) PipelineRate() float64 { return l.pipeline.Rate() }
+
+// PipelineServed reports how many messages entered the device pipeline.
+func (l *Link) PipelineServed() uint64 { return l.pipeline.Served() }
+
+// H2DBandwidth exposes the host→device payload channel for utilization
+// reporting in the bandwidth experiments.
+func (l *Link) H2DBandwidth() *sim.BandwidthMeter { return l.h2d }
+
+// D2HBandwidth exposes the device→host payload channel.
+func (l *Link) D2HBandwidth() *sim.BandwidthMeter { return l.d2h }
+
+// ResetStats clears counters and channel state.
+func (l *Link) ResetStats() {
+	l.Messages.Reset()
+	l.H2DMessages.Reset()
+	l.h2d.Reset()
+	l.d2h.Reset()
+	l.pipeline.Reset()
+}

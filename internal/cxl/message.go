@@ -1,0 +1,154 @@
+// Package cxl models the transport between the host CPU and a cache-coherent
+// accelerator: a CXL.cache-style message vocabulary, a latency/bandwidth link
+// model with a device-side message pipeline, and the adapter layer the paper
+// (§4) describes for translating a native coherence protocol (Enzian's
+// ThunderX-1 messages) into CXL semantics.
+package cxl
+
+import "fmt"
+
+// Opcode is a CXL.cache message opcode. The set is the practical subset PAX
+// needs: host-to-device (H2D) requests for line ownership and eviction, and
+// device-to-host (D2H) snoops, plus the response opcodes.
+type Opcode uint8
+
+const (
+	// OpInvalid is the zero value; sending it is a bug.
+	OpInvalid Opcode = iota
+
+	// H2D requests (the host CPU's cache home agent → device home).
+
+	// RdShared requests a line for reading; the device may grant Shared.
+	RdShared
+	// RdOwn requests a line for modification (read-for-ownership); granting
+	// it tells the device the host will produce a new value (the undo-log
+	// trigger).
+	RdOwn
+	// ItoMWr requests ownership of a line the host already holds Shared
+	// (upgrade without data transfer); also an undo-log trigger.
+	ItoMWr
+	// CleanEvict notifies the device that the host dropped a clean line.
+	CleanEvict
+	// DirtyEvict writes a modified line back to the device.
+	DirtyEvict
+
+	// D2H requests (device → host CPU).
+
+	// SnpData asks the host to downgrade a line to Shared and forward the
+	// current value (issued for every epoch-modified line at persist()).
+	SnpData
+	// SnpInv asks the host to drop a line entirely.
+	SnpInv
+
+	// Responses.
+
+	// GO grants ownership or data to the host (device → host response).
+	GO
+	// RspData carries line data from host to device after a snoop.
+	RspData
+	// RspMiss reports the host no longer holds a snooped line.
+	RspMiss
+
+	// CfgWr is an MMIO doorbell write (CXL.io): the host posting a command
+	// (e.g. "persist epoch now") to a device register. Not a coherence
+	// message; carried here because it shares the physical link.
+	CfgWr
+)
+
+var opcodeNames = map[Opcode]string{
+	OpInvalid:  "OpInvalid",
+	RdShared:   "RdShared",
+	RdOwn:      "RdOwn",
+	ItoMWr:     "ItoMWr",
+	CleanEvict: "CleanEvict",
+	DirtyEvict: "DirtyEvict",
+	SnpData:    "SnpData",
+	SnpInv:     "SnpInv",
+	GO:         "GO",
+	RspData:    "RspData",
+	RspMiss:    "RspMiss",
+	CfgWr:      "CfgWr",
+}
+
+// String returns the CXL spelling of the opcode.
+func (o Opcode) String() string {
+	if s, ok := opcodeNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// IsH2D reports whether the opcode travels host→device.
+func (o Opcode) IsH2D() bool {
+	switch o {
+	case RdShared, RdOwn, ItoMWr, CleanEvict, DirtyEvict, RspData, RspMiss, CfgWr:
+		return true
+	}
+	return false
+}
+
+// IsD2H reports whether the opcode travels device→host.
+func (o Opcode) IsD2H() bool {
+	switch o {
+	case SnpData, SnpInv, GO:
+		return true
+	}
+	return false
+}
+
+// CarriesData reports whether the message includes a 64-byte line payload.
+func (o Opcode) CarriesData() bool {
+	switch o {
+	case DirtyEvict, RspData, GO:
+		return true
+	}
+	return false
+}
+
+// Message sizes on the wire, used for bandwidth accounting: CXL.cache slots
+// are 16-byte granules; a header is one slot, a data payload is a full line.
+const (
+	HeaderBytes = 16
+	DataBytes   = 64
+)
+
+// Message is one CXL.cache message.
+type Message struct {
+	Op   Opcode
+	Addr uint64 // line-aligned
+	Data []byte // present iff Op.CarriesData()
+}
+
+// WireBytes reports the message's size on the link.
+func (m Message) WireBytes() int {
+	n := HeaderBytes
+	if m.Op.CarriesData() {
+		n += DataBytes
+	}
+	return n
+}
+
+// Validate reports whether the message is well-formed: a known direction,
+// line-aligned address, and a payload exactly when the opcode carries one.
+func (m Message) Validate() error {
+	if !m.Op.IsH2D() && !m.Op.IsD2H() {
+		return fmt.Errorf("cxl: opcode %v has no direction", m.Op)
+	}
+	if m.Addr%DataBytes != 0 {
+		return fmt.Errorf("cxl: %v address %#x not line-aligned", m.Op, m.Addr)
+	}
+	if m.Op.CarriesData() && len(m.Data) != DataBytes {
+		return fmt.Errorf("cxl: %v carries %d payload bytes, want %d", m.Op, len(m.Data), DataBytes)
+	}
+	if !m.Op.CarriesData() && len(m.Data) != 0 {
+		return fmt.Errorf("cxl: %v must not carry data", m.Op)
+	}
+	return nil
+}
+
+func (m Message) String() string {
+	if m.Op.CarriesData() {
+		return fmt.Sprintf("%v{addr=%#x, %dB}", m.Op, m.Addr, len(m.Data))
+	}
+	return fmt.Sprintf("%v{addr=%#x}", m.Op, m.Addr)
+}

@@ -1,0 +1,277 @@
+package device
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pax/internal/coherence"
+	"pax/internal/hbm"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+	"pax/internal/undolog"
+)
+
+const (
+	epochCell = 0  // media address of the epoch cell
+	logBase   = 64 // undo log region
+	logSize   = 256 << 10
+	dataBase  = uint64(logBase + logSize)
+	dataSize  = uint64(1 << 20)
+	hostBase  = uint64(1 << 30) // deliberately different from dataBase
+)
+
+// fakeSnooper plays the host: it answers snoops from a scripted set of
+// dirty lines.
+type fakeSnooper struct {
+	dirty map[uint64][LineSize]byte
+}
+
+func (f *fakeSnooper) SnoopLine(addr uint64, op coherence.SnoopOp, at sim.Time) coherence.SnoopResult {
+	if data, ok := f.dirty[addr]; ok {
+		if op == coherence.SnpData || op == coherence.SnpInv {
+			delete(f.dirty, addr)
+		}
+		return coherence.SnoopResult{Present: true, Dirty: true, Data: data, Done: at + sim.LLCLatency}
+	}
+	return coherence.SnoopResult{Present: false, Done: at + sim.LLCLatency}
+}
+
+func testDevice(t *testing.T, cfg Config) (*Device, *pmem.Device, *fakeSnooper) {
+	t.Helper()
+	pm := pmem.New(pmem.DefaultConfig(int(dataBase + dataSize)))
+	log := undolog.Create(pm, logBase, logSize)
+	d := New(cfg, pm, hostBase, dataBase, dataSize, log, epochCell, 1)
+	snooper := &fakeSnooper{dirty: make(map[uint64][LineSize]byte)}
+	d.AttachHost(snooper)
+	return d, pm, snooper
+}
+
+func cfgCXL() Config {
+	return Config{Link: sim.CXLLink, HBMSize: 32 << 10, HBMWays: 4, Policy: hbm.PreferDurable}
+}
+
+func TestFetchGrantsSharedOnRead(t *testing.T) {
+	d, pm, _ := testDevice(t, cfgCXL())
+	pm.Write(dataBase, []byte{0xAB}, 0)
+	var buf [LineSize]byte
+	res := d.FetchLine(hostBase, false, buf[:], 0)
+	if res.State != coherence.Shared {
+		t.Fatalf("read fetch granted %v, want Shared (device must see first store)", res.State)
+	}
+	if buf[0] != 0xAB {
+		t.Fatalf("data %#x", buf[0])
+	}
+	if res.Done < sim.CXLLink.RoundTrip() {
+		t.Fatalf("fill faster than link RTT: %v", res.Done)
+	}
+	if d.Stats.LogAppends.Load() != 0 {
+		t.Fatal("read fetch logged")
+	}
+}
+
+func TestExclusiveFetchLogsPreImage(t *testing.T) {
+	d, pm, _ := testDevice(t, cfgCXL())
+	pm.Write(dataBase, []byte{0xCD}, 0)
+	var buf [LineSize]byte
+	res := d.FetchLine(hostBase, true, buf[:], 0)
+	if res.State != coherence.Exclusive {
+		t.Fatalf("RdOwn granted %v", res.State)
+	}
+	if d.Stats.LogAppends.Load() != 1 {
+		t.Fatalf("log appends = %d", d.Stats.LogAppends.Load())
+	}
+	entries := d.Log().Entries()
+	if len(entries) != 1 || entries[0].Addr != dataBase || entries[0].Old[0] != 0xCD || entries[0].Epoch != 1 {
+		t.Fatalf("entry = %+v", entries[0])
+	}
+}
+
+func TestFirstModificationOnlyPerEpoch(t *testing.T) {
+	d, _, _ := testDevice(t, cfgCXL())
+	d.UpgradeLine(hostBase, 0)
+	d.UpgradeLine(hostBase, 0) // re-upgrade after host silently dropped
+	d.UpgradeLine(hostBase+64, 0)
+	if d.Stats.LogAppends.Load() != 2 {
+		t.Fatalf("appends = %d, want 2", d.Stats.LogAppends.Load())
+	}
+	if d.Stats.LogSkips.Load() != 1 {
+		t.Fatalf("skips = %d, want 1", d.Stats.LogSkips.Load())
+	}
+	if d.ModifiedLines() != 2 {
+		t.Fatalf("modified = %d", d.ModifiedLines())
+	}
+}
+
+func TestUpgradeAcksWithoutWaitingForLog(t *testing.T) {
+	d, _, _ := testDevice(t, cfgCXL())
+	done := d.UpgradeLine(hostBase, 0)
+	// The ack must not include the PM write latency of the log append
+	// (~94 ns); it should be roughly link RTT + pipeline.
+	budget := sim.CXLLink.RoundTrip() + sim.NS(20)
+	if done > budget {
+		t.Fatalf("upgrade ack at %v, want ≤ %v (async logging)", done, budget)
+	}
+}
+
+func TestWriteBackBuffersUntilPersist(t *testing.T) {
+	d, pm, _ := testDevice(t, cfgCXL())
+	pm.Write(dataBase, []byte{0x01}, 0)
+	d.UpgradeLine(hostBase, 0)
+	line := make([]byte, LineSize)
+	line[0] = 0x99
+	d.WriteBackLine(hostBase, line, 0)
+	// Buffered in HBM, not yet on PM.
+	var got [1]byte
+	pm.Read(dataBase, got[:], 0)
+	if got[0] != 0x01 {
+		t.Fatal("write-back hit PM before persist/eviction")
+	}
+	if d.HBM().DirtyCount() != 1 {
+		t.Fatalf("dirty buffered = %d", d.HBM().DirtyCount())
+	}
+	d.Persist(0)
+	pm.Read(dataBase, got[:], 0)
+	if got[0] != 0x99 {
+		t.Fatal("persist did not write the line back")
+	}
+}
+
+func TestWriteBackUnloggedPanics(t *testing.T) {
+	d, _, _ := testDevice(t, cfgCXL())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.WriteBackLine(hostBase, make([]byte, LineSize), 0)
+}
+
+func TestPersistProtocol(t *testing.T) {
+	d, pm, snooper := testDevice(t, cfgCXL())
+	// Host modifies two lines: one still dirty in host caches, one evicted
+	// to the device already.
+	d.UpgradeLine(hostBase, 0)
+	d.UpgradeLine(hostBase+64, 0)
+	var hostDirty [LineSize]byte
+	hostDirty[0] = 0xAA
+	snooper.dirty[hostBase] = hostDirty
+	evicted := make([]byte, LineSize)
+	evicted[0] = 0xBB
+	d.WriteBackLine(hostBase+64, evicted, 0)
+
+	rep := d.Persist(0)
+	if rep.Epoch != 1 || rep.LinesSnooped != 2 || rep.LinesDirty != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.LinesWritten < 2 {
+		t.Fatalf("wrote %d lines", rep.LinesWritten)
+	}
+	var b [1]byte
+	pm.Read(dataBase, b[:], 0)
+	if b[0] != 0xAA {
+		t.Fatalf("snooped line not persisted: %#x", b[0])
+	}
+	pm.Read(dataBase+64, b[:], 0)
+	if b[0] != 0xBB {
+		t.Fatalf("evicted line not persisted: %#x", b[0])
+	}
+	// Epoch cell written atomically.
+	var cell [8]byte
+	pm.Read(epochCell, cell[:], 0)
+	if got := binary.LittleEndian.Uint64(cell[:]); got != 1 {
+		t.Fatalf("durable epoch = %d", got)
+	}
+	// Log truncated; next epoch open.
+	if d.Log().Live() != 0 {
+		t.Fatalf("log live = %d", d.Log().Live())
+	}
+	if d.Epoch() != 2 || d.ModifiedLines() != 0 {
+		t.Fatalf("epoch %d, modified %d", d.Epoch(), d.ModifiedLines())
+	}
+}
+
+func TestLoggingResumesAfterPersist(t *testing.T) {
+	d, _, _ := testDevice(t, cfgCXL())
+	d.UpgradeLine(hostBase, 0)
+	d.Persist(0)
+	d.UpgradeLine(hostBase, 0) // same line, new epoch: logged again
+	if d.Stats.LogAppends.Load() != 2 {
+		t.Fatalf("appends = %d", d.Stats.LogAppends.Load())
+	}
+	if e := d.Log().Entries(); len(e) != 1 || e[0].Epoch != 2 {
+		t.Fatalf("entries = %+v", e)
+	}
+}
+
+func TestHBMHitAvoidsPM(t *testing.T) {
+	d, pm, _ := testDevice(t, cfgCXL())
+	var buf [LineSize]byte
+	d.FetchLine(hostBase, false, buf[:], 0)
+	reads := pm.Reads.Load()
+	res := d.FetchLine(hostBase, false, buf[:], 0) // HBM hit
+	if pm.Reads.Load() != reads {
+		t.Fatal("second fetch read PM despite HBM")
+	}
+	if d.Stats.HBMHits.Load() != 1 {
+		t.Fatalf("HBM hits = %d", d.Stats.HBMHits.Load())
+	}
+	// An HBM hit must be faster than a PM fetch.
+	first := d.FetchLine(hostBase+128, false, buf[:], res.Done)
+	hit := d.FetchLine(hostBase+128, false, buf[:], first.Done)
+	if hit.Done-first.Done >= first.Done-res.Done {
+		t.Fatal("HBM hit not faster than PM fetch")
+	}
+}
+
+func TestNoHBMWritesThrough(t *testing.T) {
+	cfg := cfgCXL()
+	cfg.HBMSize = 0
+	d, pm, _ := testDevice(t, cfg)
+	if d.HBM() != nil {
+		t.Fatal("HBM present despite size 0")
+	}
+	d.UpgradeLine(hostBase, 0)
+	line := make([]byte, LineSize)
+	line[0] = 0x77
+	d.WriteBackLine(hostBase, line, 0)
+	var b [1]byte
+	pm.Read(dataBase, b[:], 0)
+	if b[0] != 0x77 {
+		t.Fatal("bufferless device did not write through")
+	}
+}
+
+func TestEnzianSlowerThanCXL(t *testing.T) {
+	fast, _, _ := testDevice(t, cfgCXL())
+	slowCfg := cfgCXL()
+	slowCfg.Link = sim.EnzianLink
+	slow, _, _ := testDevice(t, slowCfg)
+	var buf [LineSize]byte
+	f := fast.FetchLine(hostBase, false, buf[:], 0)
+	s := slow.FetchLine(hostBase, false, buf[:], 0)
+	if s.Done <= f.Done {
+		t.Fatalf("Enzian fill %v not slower than CXL %v", s.Done, f.Done)
+	}
+}
+
+func TestOutOfRangeHostAddressPanics(t *testing.T) {
+	d, _, _ := testDevice(t, cfgCXL())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var buf [LineSize]byte
+	d.FetchLine(hostBase+dataSize, false, buf[:], 0)
+}
+
+func TestGeometryValidation(t *testing.T) {
+	pm := pmem.New(pmem.DefaultConfig(1 << 20))
+	log := undolog.Create(pm, 0, 64<<10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cfgCXL(), pm, 7, 0, 4096, log, 0, 1) // misaligned host base
+}

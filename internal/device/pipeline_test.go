@@ -1,0 +1,134 @@
+package device
+
+import (
+	"testing"
+
+	"pax/internal/hbm"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+	"pax/internal/undolog"
+)
+
+func TestPipelinedPersistReleasesHostEarly(t *testing.T) {
+	d, _, snooper := testDevice(t, cfgCXL())
+	// Dirty 32 lines through upgrades plus host-cached data.
+	for i := uint64(0); i < 32; i++ {
+		d.UpgradeLine(hostBase+i*64, 0)
+		var line [LineSize]byte
+		line[0] = byte(i)
+		snooper.dirty[hostBase+i*64] = line
+	}
+	rep, release := d.PersistPipelined(0)
+	if release >= rep.Done {
+		t.Fatalf("host released at %v, device finished at %v — no overlap", release, rep.Done)
+	}
+	// The release is roughly one link traversal.
+	if release > sim.CXLLink.Latency+sim.NS(50) {
+		t.Fatalf("release took %v, want ~link latency", release)
+	}
+	if rep.LinesSnooped != 32 {
+		t.Fatalf("snooped %d", rep.LinesSnooped)
+	}
+}
+
+func TestPipelinedPersistsCommitInOrder(t *testing.T) {
+	d, pm, _ := testDevice(t, cfgCXL())
+	var prevDone sim.Time
+	for epoch := uint64(1); epoch <= 4; epoch++ {
+		d.UpgradeLine(hostBase+epoch*64, 0)
+		rep, _ := d.PersistPipelined(0)
+		if rep.Epoch != epoch {
+			t.Fatalf("epoch %d committed as %d", epoch, rep.Epoch)
+		}
+		if rep.Done <= prevDone {
+			t.Fatalf("epoch %d done %v not after previous %v", epoch, rep.Done, prevDone)
+		}
+		prevDone = rep.Done
+	}
+	var cell [8]byte
+	pm.Read(epochCell, cell[:], 0)
+	if got := uint64(cell[0]); got != 4 {
+		t.Fatalf("durable epoch %d", got)
+	}
+}
+
+func TestEvictionStallsOnUndurableLog(t *testing.T) {
+	// A tiny HBM with PlainLRU forces dirty evictions whose undo entries
+	// are not yet durable; the device must wait and count the stall.
+	cfg := Config{Link: sim.CXLLink, HBMSize: 1 << 10, HBMWays: 2, Policy: hbm.PlainLRU}
+	d, _, _ := testDevice(t, cfg)
+	line := make([]byte, LineSize)
+	// Rapid-fire: upgrade + immediately write back many lines at t=0, far
+	// faster than the PM write channel can make log entries durable.
+	for i := uint64(0); i < 64; i++ {
+		addr := hostBase + i*64
+		d.UpgradeLine(addr, 0)
+		d.WriteBackLine(addr, line, 0)
+	}
+	if d.cache.DirtyEvictionsStalled.Load() == 0 {
+		t.Fatal("no stalled evictions despite undurable log entries")
+	}
+}
+
+func TestPreferDurableStallsLessThanLRU(t *testing.T) {
+	// Identical mixed pressure (dirty write-backs plus clean fills) under
+	// both policies: PreferDurable must stall strictly less often, because
+	// it evicts clean or log-durable lines first.
+	run := func(policy hbm.Policy) uint64 {
+		cfg := Config{Link: sim.CXLLink, HBMSize: 1 << 10, HBMWays: 4, Policy: policy}
+		d, _, _ := testDevice(t, cfg)
+		line := make([]byte, LineSize)
+		var buf [LineSize]byte
+		for i := uint64(0); i < 32; i++ {
+			addr := hostBase + i*64
+			d.UpgradeLine(addr, 0)
+			d.WriteBackLine(addr, line, 0)
+			// Interleave clean fills: zero-cost eviction candidates.
+			d.FetchLine(hostBase+(256+i*2)*64, false, buf[:], 0)
+			d.FetchLine(hostBase+(256+i*2+1)*64, false, buf[:], 0)
+		}
+		return d.cache.DirtyEvictionsStalled.Load()
+	}
+	durable := run(hbm.PreferDurable)
+	lru := run(hbm.PlainLRU)
+	if durable >= lru {
+		t.Fatalf("PreferDurable stalled %d times, PlainLRU %d — policy has no effect", durable, lru)
+	}
+}
+
+func TestLogFullPanicsWithGuidance(t *testing.T) {
+	// An epoch working set beyond the log capacity must fail loudly with
+	// sizing guidance, not corrupt state.
+	pm2 := newTinyLogDevice(t)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on log overflow")
+		}
+		if s, ok := r.(string); !ok || !contains(s, "persist") {
+			t.Fatalf("panic %v lacks guidance", r)
+		}
+	}()
+	for i := uint64(0); i < 64; i++ {
+		pm2.UpgradeLine(hostBase+i*64, 0)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func newTinyLogDevice(t *testing.T) *Device {
+	t.Helper()
+	// Build a device whose undo log holds only 4 entries.
+	pm := pmem.New(pmem.DefaultConfig(int(dataBase + dataSize)))
+	log := undolog.Create(pm, logBase, 64+4*undolog.EntrySize)
+	d := New(cfgCXL(), pm, hostBase, dataBase, dataSize, log, epochCell, 1)
+	d.AttachHost(&fakeSnooper{dirty: make(map[uint64][LineSize]byte)})
+	return d
+}

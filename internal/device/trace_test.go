@@ -1,0 +1,72 @@
+package device
+
+import (
+	"testing"
+
+	"pax/internal/cxl"
+)
+
+// TestProtocolMessageSequence checks the §3 wire protocol end to end via the
+// link tracer: a read miss is RdShared, a first store is RdOwn or ItoMWr,
+// persist() emits one SnpData per modified line, and responses flow D2H.
+func TestProtocolMessageSequence(t *testing.T) {
+	d, pm, snooper := testDevice(t, cfgCXL())
+	tr := cxl.NewTracer(128)
+	d.Link().AttachTracer(tr)
+	pm.Write(dataBase, []byte{1}, 0)
+
+	// Read miss.
+	var buf [LineSize]byte
+	d.FetchLine(hostBase, false, buf[:], 0)
+	// First store to the same (now Shared) line: upgrade.
+	d.UpgradeLine(hostBase, 0)
+	// Store miss on another line: RdOwn.
+	d.FetchLine(hostBase+64, true, buf[:], 0)
+	// Host keeps line 0 dirty; line 1 data stays host-side too.
+	var dirty [LineSize]byte
+	dirty[0] = 9
+	snooper.dirty[hostBase] = dirty
+	snooper.dirty[hostBase+64] = dirty
+
+	d.Persist(0)
+
+	counts := tr.CountByOp()
+	if counts[cxl.RdShared] != 1 {
+		t.Fatalf("RdShared = %d", counts[cxl.RdShared])
+	}
+	if counts[cxl.ItoMWr] != 1 {
+		t.Fatalf("ItoMWr = %d", counts[cxl.ItoMWr])
+	}
+	if counts[cxl.RdOwn] != 1 {
+		t.Fatalf("RdOwn = %d", counts[cxl.RdOwn])
+	}
+	// persist(): one SnpData per modified line (2), one response each.
+	if counts[cxl.SnpData] != 2 {
+		t.Fatalf("SnpData = %d, want 2", counts[cxl.SnpData])
+	}
+	if counts[cxl.RspData] != 2 {
+		t.Fatalf("RspData = %d, want 2", counts[cxl.RspData])
+	}
+	// Every fill/upgrade got a GO.
+	if counts[cxl.GO] != 3 {
+		t.Fatalf("GO = %d, want 3", counts[cxl.GO])
+	}
+
+	// Ordering: the SnpData messages must come after every request.
+	evs := tr.Events()
+	firstSnp := -1
+	lastReq := -1
+	for i, e := range evs {
+		switch e.Msg.Op {
+		case cxl.SnpData:
+			if firstSnp < 0 {
+				firstSnp = i
+			}
+		case cxl.RdShared, cxl.RdOwn, cxl.ItoMWr:
+			lastReq = i
+		}
+	}
+	if firstSnp < lastReq {
+		t.Fatalf("persist snoop at %d before request at %d:\n%s", firstSnp, lastReq, tr.Dump())
+	}
+}

@@ -1,0 +1,113 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+
+	"pax/internal/coherence"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+)
+
+func TestFlatRoundTrip(t *testing.T) {
+	f := NewFlat(1024)
+	f.Store(100, []byte("flat memory"))
+	buf := make([]byte, 11)
+	f.Load(100, buf)
+	if string(buf) != "flat memory" {
+		t.Fatalf("got %q", buf)
+	}
+	if f.Size() != 1024 || len(f.Bytes()) != 1024 {
+		t.Fatal("size accessors wrong")
+	}
+}
+
+func TestFlatBoundsPanics(t *testing.T) {
+	f := NewFlat(64)
+	for _, fn := range []func(){
+		func() { f.Load(64, make([]byte, 1)) },
+		func() { f.Store(60, make([]byte, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestControllerHomeTranslation(t *testing.T) {
+	dev := pmem.New(pmem.DefaultConfig(1 << 16))
+	// Host range [4096, +8192) maps to device [0, +8192).
+	h := NewControllerHome(dev, 4096, 0, 8192)
+
+	line := bytes.Repeat([]byte{0x5A}, coherence.LineSize)
+	h.WriteBackLine(4096+128, line, 0)
+	var check [1]byte
+	dev.Read(128, check[:], 0)
+	if check[0] != 0x5A {
+		t.Fatal("write-back not translated")
+	}
+
+	buf := make([]byte, coherence.LineSize)
+	res := h.FetchLine(4096+128, false, buf, 0)
+	if res.State != coherence.Exclusive {
+		t.Fatalf("controller granted %v, want Exclusive", res.State)
+	}
+	if buf[0] != 0x5A {
+		t.Fatal("fetch returned wrong data")
+	}
+	if got := h.UpgradeLine(4096, sim.NS(5)); got != sim.NS(5) {
+		t.Fatal("controller upgrade must be free")
+	}
+}
+
+func TestControllerHomeRangePanics(t *testing.T) {
+	dev := pmem.New(pmem.DefaultConfig(1 << 16))
+	h := NewControllerHome(dev, 0, 0, 4096)
+	for _, fn := range []func(){
+		func() { h.FetchLine(4096, false, make([]byte, 64), 0) },
+		func() { NewControllerHome(dev, 3, 0, 4096) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBumpAllocator(t *testing.T) {
+	f := NewFlat(1 << 16)
+	b := NewBump(f, 256, 1024)
+	a1, err := b.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 < 256 || a1%16 != 0 {
+		t.Fatalf("a1 = %d", a1)
+	}
+	a2, _ := b.Alloc(10)
+	if a2 <= a1 {
+		t.Fatal("bump did not advance")
+	}
+	if err := b.Free(a1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Mem() != Memory(f) {
+		t.Fatal("Mem accessor wrong")
+	}
+	// Exhaustion.
+	if _, err := b.Alloc(10000); err == nil {
+		t.Fatal("overallocation accepted")
+	}
+	if b.Used() == 0 {
+		t.Fatal("Used not tracked")
+	}
+}

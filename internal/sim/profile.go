@@ -1,0 +1,130 @@
+package sim
+
+// This file holds the latency and bandwidth constants behind every experiment.
+// Sources, as cited in the paper and DESIGN.md:
+//
+//   - CPU cache levels: Cloudlab c6420 (Xeon Gold 6142)-class parts.
+//   - Optane DC PMM: Yang et al., "An Empirical Guide to the Behavior and Use
+//     of Scalable Persistent Memory", FAST'20 — 305 ns random reads, ~94 ns
+//     ADR write-queue stores, ~40 GB/s read and ~14 GB/s write per socket.
+//   - CXL: CXL 2.0 expectations — tens of ns added latency per direction,
+//     PCIe 5.0 x16 ≈ 63 GB/s full duplex.
+//   - Enzian: Cock et al., ASPLOS'22 — CPU↔FPGA coherence-message latencies
+//     several times higher than CXL expectations; 300 MHz FPGA clock.
+//   - Page-fault trap cost: >1 µs on modern x86 (paper §1).
+
+// Cache line and page geometry used throughout.
+const (
+	CacheLineSize = 64
+	PageSize      = 4096
+)
+
+// Host cache latencies (hit service times).
+var (
+	L1Latency  = NS(1.5)
+	L2Latency  = NS(5)
+	LLCLatency = NS(20)
+)
+
+// Memory media latencies.
+var (
+	DRAMLatency    = NS(85)  // load-to-use on a local socket
+	PMReadLatency  = NS(305) // Optane random 64 B read (Yang et al.)
+	PMWriteLatency = NS(94)  // store accepted into the ADR write-pending queue
+	HBMLatency     = NS(60)  // on-device HBM cache hit
+)
+
+// Bandwidths (bytes/second).
+var (
+	DRAMBandwidth    = GBs(100)
+	PMReadBandwidth  = GBs(40)
+	PMWriteBandwidth = GBs(14)
+	CXLBandwidth     = GBs(63) // PCIe 5.0 x16, per direction
+	EnzianBandwidth  = GBs(30) // 24 x 10 Gb/s lanes
+)
+
+// Software overheads.
+var (
+	PageFaultTrap = US(1.2) // write-protection trap, kernel round trip
+	SFenceDrain   = NS(100) // store-buffer drain on SFENCE
+	CLWBCost      = NS(20)  // issuing a CLWB (latency hidden until fence)
+	SyscallCost   = NS(400) // mprotect-style protection change, per call
+	LogAppendCPU  = NS(12)  // CPU instructions to format a software WAL entry
+)
+
+// LinkProfile describes the host↔accelerator transport: per-direction message
+// latency, payload bandwidth, and the device's message-processing pipeline.
+type LinkProfile struct {
+	Name string
+	// Latency is the one-way message latency (request or response header).
+	Latency Time
+	// Bandwidth is the per-direction payload bandwidth in bytes/second.
+	Bandwidth float64
+	// DeviceHz is the device's message-pipeline clock; one coherence message
+	// can issue per cycle.
+	DeviceHz float64
+	// PipelineDepth is the device pipeline depth in cycles for one message.
+	PipelineDepth int
+}
+
+// RoundTrip reports the two-way header latency of the link.
+func (lp LinkProfile) RoundTrip() Time { return 2 * lp.Latency }
+
+// Predefined link profiles for the transports the paper discusses.
+var (
+	// CXLLink models a CXL 2.0 cache-coherent accelerator: tens of ns per
+	// direction and an ASIC-class 1 GHz message pipeline.
+	CXLLink = LinkProfile{
+		Name:          "cxl",
+		Latency:       NS(25),
+		Bandwidth:     CXLBandwidth,
+		DeviceHz:      1e9,
+		PipelineDepth: 8,
+	}
+
+	// EnzianLink models the ThunderX-1↔CVU9P coherence path: higher message
+	// latency and a 300 MHz FPGA pipeline (paper §4, §5.1).
+	EnzianLink = LinkProfile{
+		Name:          "enzian",
+		Latency:       NS(250),
+		Bandwidth:     EnzianBandwidth,
+		DeviceHz:      300e6,
+		PipelineDepth: 6,
+	}
+)
+
+// CacheGeometry describes one cache level of the simulated host hierarchy.
+type CacheGeometry struct {
+	SizeBytes int
+	Ways      int
+	Latency   Time
+}
+
+// HostProfile bundles the host-side hierarchy geometry used by experiments;
+// the defaults model a Cloudlab c6420 socket (Xeon Gold 6142: 32 KiB L1d,
+// 1 MiB L2, 22 MiB shared LLC).
+type HostProfile struct {
+	L1, L2, LLC CacheGeometry
+	Cores       int
+}
+
+// DefaultHost returns the c6420-class host profile.
+func DefaultHost() HostProfile {
+	return HostProfile{
+		L1:    CacheGeometry{SizeBytes: 32 << 10, Ways: 8, Latency: L1Latency},
+		L2:    CacheGeometry{SizeBytes: 1 << 20, Ways: 16, Latency: L2Latency},
+		LLC:   CacheGeometry{SizeBytes: 22 << 20, Ways: 11, Latency: LLCLatency},
+		Cores: 32,
+	}
+}
+
+// SmallHost returns a scaled-down hierarchy for fast unit tests: same
+// structure, tiny capacities, identical latencies.
+func SmallHost() HostProfile {
+	return HostProfile{
+		L1:    CacheGeometry{SizeBytes: 1 << 10, Ways: 2, Latency: L1Latency},
+		L2:    CacheGeometry{SizeBytes: 4 << 10, Ways: 4, Latency: L2Latency},
+		LLC:   CacheGeometry{SizeBytes: 16 << 10, Ways: 4, Latency: LLCLatency},
+		Cores: 4,
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if NS(1) != Nanosecond {
+		t.Fatalf("NS(1) = %d, want %d", NS(1), Nanosecond)
+	}
+	if NS(1.5) != 1500*Picosecond {
+		t.Fatalf("NS(1.5) = %d, want 1500", NS(1.5))
+	}
+	if US(1.2) != 1200*Nanosecond {
+		t.Fatalf("US(1.2) = %d, want %d", US(1.2), 1200*Nanosecond)
+	}
+	if got := (305 * Nanosecond).Nanoseconds(); got != 305 {
+		t.Fatalf("Nanoseconds = %g, want 305", got)
+	}
+	if got := Second.Seconds(); got != 1 {
+		t.Fatalf("Seconds = %g, want 1", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{305 * Nanosecond, "305.00ns"},
+		{1200 * Nanosecond, "1.20us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.000s"},
+		{-305 * Nanosecond, "-305.00ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v", c.Now())
+	}
+	c.Advance(NS(10))
+	c.Advance(NS(5))
+	if c.Now() != NS(15) {
+		t.Fatalf("clock = %v, want 15ns", c.Now())
+	}
+	c.AdvanceTo(NS(12)) // earlier: no-op
+	if c.Now() != NS(15) {
+		t.Fatalf("AdvanceTo moved clock backward to %v", c.Now())
+	}
+	c.AdvanceTo(NS(20))
+	if c.Now() != NS(20) {
+		t.Fatalf("AdvanceTo = %v, want 20ns", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewClock(0).Advance(-1)
+}
+
+func TestServiceQueueFIFO(t *testing.T) {
+	q := NewServiceQueue("test")
+	// Idle server: starts immediately.
+	if done := q.Serve(NS(10), NS(5)); done != NS(15) {
+		t.Fatalf("first done = %v, want 15ns", done)
+	}
+	// Arrives while busy: queues.
+	if done := q.Serve(NS(11), NS(5)); done != NS(20) {
+		t.Fatalf("second done = %v, want 20ns", done)
+	}
+	// Arrives after idle: starts at arrival.
+	if done := q.Serve(NS(100), NS(1)); done != NS(101) {
+		t.Fatalf("third done = %v, want 101ns", done)
+	}
+	if q.Served() != 3 {
+		t.Fatalf("served = %d, want 3", q.Served())
+	}
+	if q.BusyTime() != NS(11) {
+		t.Fatalf("busy = %v, want 11ns", q.BusyTime())
+	}
+	if q.QueuedTime() != NS(4) {
+		t.Fatalf("queued = %v, want 4ns", q.QueuedTime())
+	}
+}
+
+func TestServiceQueueUtilization(t *testing.T) {
+	q := NewServiceQueue("u")
+	q.Serve(0, NS(50))
+	if got := q.Utilization(NS(100)); got != 0.5 {
+		t.Fatalf("utilization = %g, want 0.5", got)
+	}
+	if got := q.Utilization(0); got != 0 {
+		t.Fatalf("utilization at zero horizon = %g", got)
+	}
+	q.Reset()
+	if q.Served() != 0 || q.NextFree() != 0 {
+		t.Fatal("Reset did not clear queue")
+	}
+}
+
+// Completion times from a service queue are monotone in arrival order —
+// FIFO can never reorder.
+func TestServiceQueueMonotoneProperty(t *testing.T) {
+	f := func(arrivals []uint16, services []uint16) bool {
+		q := NewServiceQueue("prop")
+		var arrive, prevDone Time
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			arrive += Time(arrivals[i]) // non-decreasing arrivals
+			done := q.Serve(arrive, Time(services[i]))
+			if done < prevDone || done < arrive {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineRateAndDepth(t *testing.T) {
+	p := NewPipeline("fpga", 300e6, 6) // 300 MHz: 3333ps cycle
+	cycle := p.CycleTime()
+	hz := 300e6
+	if cycle != Time(float64(Second)/hz) {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	// Back-to-back arrivals issue one per cycle, complete depth cycles later.
+	d0 := p.Serve(0)
+	d1 := p.Serve(0)
+	if d0 != 6*cycle {
+		t.Fatalf("d0 = %v, want %v", d0, 6*cycle)
+	}
+	if d1 != 7*cycle {
+		t.Fatalf("d1 = %v, want %v", d1, 7*cycle)
+	}
+	if got, want := p.Rate(), 300e6; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("rate = %g, want ~%g", got, want)
+	}
+	p.Reset()
+	if p.Served() != 0 {
+		t.Fatal("Reset did not clear pipeline")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive clock")
+		}
+	}()
+	NewPipeline("bad", 0, 1)
+}
+
+func TestBandwidthMeterSerialization(t *testing.T) {
+	b := NewBandwidthMeter("pm-write", GBs(14))
+	// 64 bytes at 14 GB/s = 64/14e9 s ≈ 4571 ps.
+	tt := b.TransferTime(64)
+	want := Time(float64(64) / GBs(14) * float64(Second))
+	if tt != want {
+		t.Fatalf("TransferTime = %v, want %v", tt, want)
+	}
+	d0 := b.Transfer(0, 64)
+	d1 := b.Transfer(0, 64)
+	if d1 != 2*d0 {
+		t.Fatalf("second transfer = %v, want %v (serialized)", d1, 2*d0)
+	}
+	if b.Bytes() != 128 || b.Transfers() != 2 {
+		t.Fatalf("stats: bytes=%d transfers=%d", b.Bytes(), b.Transfers())
+	}
+	if got := b.Transfer(Second, 0); got != Second {
+		t.Fatalf("zero-byte transfer took time: %v", got)
+	}
+}
+
+func TestBandwidthMeterDemandedRate(t *testing.T) {
+	b := NewBandwidthMeter("x", GBs(1))
+	b.Transfer(0, 1000)
+	rate := b.DemandedRate(Microsecond)
+	if rate != 1e9 { // 1000 B / 1 us = 1 GB/s
+		t.Fatalf("demanded = %g, want 1e9", rate)
+	}
+	b.Reset()
+	if b.Bytes() != 0 {
+		t.Fatal("Reset did not clear meter")
+	}
+}
+
+func TestLinkProfiles(t *testing.T) {
+	if CXLLink.RoundTrip() != NS(50) {
+		t.Fatalf("CXL round trip = %v", CXLLink.RoundTrip())
+	}
+	if EnzianLink.RoundTrip() <= CXLLink.RoundTrip() {
+		t.Fatal("Enzian must be slower than CXL")
+	}
+	if EnzianLink.DeviceHz >= CXLLink.DeviceHz {
+		t.Fatal("Enzian FPGA clock must be below ASIC-class clock")
+	}
+}
+
+func TestHostProfiles(t *testing.T) {
+	h := DefaultHost()
+	if h.L1.SizeBytes != 32<<10 || h.LLC.SizeBytes != 22<<20 || h.Cores != 32 {
+		t.Fatalf("unexpected default host: %+v", h)
+	}
+	s := SmallHost()
+	if s.L1.SizeBytes >= h.L1.SizeBytes {
+		t.Fatal("SmallHost not smaller than DefaultHost")
+	}
+	for _, g := range []CacheGeometry{s.L1, s.L2, s.LLC} {
+		if g.SizeBytes%(g.Ways*CacheLineSize) != 0 {
+			t.Fatalf("geometry %+v not divisible into sets", g)
+		}
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Fatal("MaxTime wrong")
+	}
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Fatal("MinTime wrong")
+	}
+}

@@ -1,0 +1,302 @@
+// Package stats provides the counters, histograms, and rate trackers shared
+// by the simulator components and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reports the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Ratio is a hit/miss style two-way counter.
+type Ratio struct {
+	Hits, Misses Counter
+}
+
+// Total reports hits+misses.
+func (r *Ratio) Total() uint64 { return r.Hits.Load() + r.Misses.Load() }
+
+// HitRate reports hits / (hits+misses); zero total reports 0.
+func (r *Ratio) HitRate() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Hits.Load()) / float64(t)
+}
+
+// MissRate reports 1 - HitRate for a non-empty ratio, else 0.
+func (r *Ratio) MissRate() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Misses.Load()) / float64(t)
+}
+
+// Reset zeroes both sides.
+func (r *Ratio) Reset() { r.Hits.Reset(); r.Misses.Reset() }
+
+// Histogram is a log2-bucketed histogram of non-negative int64 samples
+// (typically picosecond latencies). It keeps exact min/max/sum and per-bucket
+// counts. Not safe for concurrent use; each simulated context owns its own.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.MaxInt64} }
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 64 - int(leadingZeros(uint64(v)))
+}
+
+func leadingZeros(x uint64) uint {
+	n := uint(0)
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one sample; negative samples panic (latencies are never
+// negative, and silently clamping would hide simulator bugs).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram sample %d", v))
+	}
+	b := bucketOf(v)
+	if b > 63 {
+		b = 63
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the sample total.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean reports the average sample, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest sample, 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from bucket boundaries. The
+// estimate is the upper bound of the bucket containing the quantile, which is
+// within 2x of the true value — adequate for latency reporting.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum > target {
+			if b == 0 {
+				return 0
+			}
+			hi := int64(1) << uint(b)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Reset empties the histogram.
+func (h *Histogram) Reset() { *h = Histogram{min: math.MaxInt64} }
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Table accumulates named numeric results and renders them as an aligned
+// text table — the benchmark harness uses it to print paper-style rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted values: each argument is rendered with
+// %v for strings and %.4g for floats.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Summary holds a set of named scalar metrics collected from one experiment
+// run, rendered deterministically (sorted by key).
+type Summary map[string]float64
+
+// Merge adds all entries of other into s, summing on key collision.
+func (s Summary) Merge(other Summary) {
+	for k, v := range other {
+		s[k] += v
+	}
+}
+
+// String renders the summary sorted by key.
+func (s Summary) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%.4g ", k, s[k])
+	}
+	return strings.TrimSpace(b.String())
+}

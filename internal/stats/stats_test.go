@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	c.Add(42)
+	if c.Load() != 8042 {
+		t.Fatalf("counter = %d, want 8042", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.HitRate() != 0 || r.MissRate() != 0 {
+		t.Fatal("empty ratio must report 0")
+	}
+	r.Hits.Add(3)
+	r.Misses.Add(1)
+	if r.Total() != 4 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %g", r.HitRate())
+	}
+	if r.MissRate() != 0.25 {
+		t.Fatalf("miss rate = %g", r.MissRate())
+	}
+	r.Reset()
+	if r.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 110 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %d", got)
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Fatalf("String() = %q", h.String())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram().Observe(-1)
+}
+
+// Property: quantile estimates bracket the true order statistics within the
+// log2 bucket bound (estimate ≥ true value, estimate ≤ 2x true value or max).
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		// Quantiles must be within [min, max] and monotone in q.
+		prev := int64(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			est := h.Quantile(q)
+			if est < h.Min() || est > h.Max() {
+				return false
+			}
+			if est < prev {
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig 2a", "config", "amat_ns")
+	tb.AddRowf("dram", 10.5)
+	tb.AddRowf("pm", 18.25)
+	out := tb.String()
+	if !strings.Contains(out, "## Fig 2a") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "config") || !strings.Contains(out, "dram") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSummaryMergeAndString(t *testing.T) {
+	a := Summary{"x": 1, "y": 2}
+	b := Summary{"y": 3, "z": 4}
+	a.Merge(b)
+	if a["y"] != 5 || a["z"] != 4 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	s := a.String()
+	// Sorted by key.
+	if !(strings.Index(s, "x=") < strings.Index(s, "y=") && strings.Index(s, "y=") < strings.Index(s, "z=")) {
+		t.Fatalf("not sorted: %q", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `with,comma and "quote"`)
+	csv := tb.CSV()
+	want := "a,b\n1,plain\n2,\"with,comma and \"\"quote\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", csv, want)
+	}
+}

@@ -1,0 +1,233 @@
+package structures
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBTree(t *testing.T) *BTree {
+	t.Helper()
+	bt, err := NewBTree(flatAlloc(1 << 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func TestBTreeBasics(t *testing.T) {
+	bt := newTestBTree(t)
+	if _, ok := bt.Get(1); ok {
+		t.Fatal("empty tree hit")
+	}
+	if _, _, ok := bt.Min(); ok {
+		t.Fatal("empty tree has min")
+	}
+	bt.Put(10, 100)
+	bt.Put(5, 50)
+	bt.Put(20, 200)
+	if v, ok := bt.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d %v", v, ok)
+	}
+	if bt.Len() != 3 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	bt.Put(5, 55) // replace
+	if v, _ := bt.Get(5); v != 55 {
+		t.Fatalf("replace: %d", v)
+	}
+	if bt.Len() != 3 {
+		t.Fatal("replace changed len")
+	}
+	k, v, ok := bt.Min()
+	if !ok || k != 5 || v != 55 {
+		t.Fatalf("min = %d/%d", k, v)
+	}
+	if !bt.Delete(10) {
+		t.Fatal("delete missed")
+	}
+	if bt.Delete(10) {
+		t.Fatal("double delete")
+	}
+	if _, ok := bt.Get(10); ok || bt.Len() != 2 {
+		t.Fatal("delete left entry")
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeMultiLevelSplits(t *testing.T) {
+	bt := newTestBTree(t)
+	const n = 20000 // forces ≥3 levels at 14 keys/node
+	for i := 0; i < n; i++ {
+		if err := bt.Put(uint64(i*7%n), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Len() != n {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 131 {
+		if _, ok := bt.Get(uint64(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	// Full scan must be sorted and complete.
+	var prev uint64
+	count := 0
+	bt.Scan(0, func(k, v uint64) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d", count)
+	}
+}
+
+func TestBTreeScanFrom(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 1000; i += 2 { // even keys only
+		bt.Put(uint64(i), uint64(i))
+	}
+	var got []uint64
+	bt.Scan(501, func(k, v uint64) bool { // from an absent odd key
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []uint64{502, 504, 506, 508, 510}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan from 501 = %v", got)
+		}
+	}
+	// Early stop works.
+	n := 0
+	bt.Scan(0, func(k, v uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeDeleteHeavy(t *testing.T) {
+	bt := newTestBTree(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		bt.Put(uint64(i), uint64(i))
+	}
+	for i := 0; i < n; i += 2 {
+		if !bt.Delete(uint64(i)) {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Scans skip deleted keys; min is the smallest survivor.
+	if k, _, ok := bt.Min(); !ok || k != 1 {
+		t.Fatalf("min after deletes = %d %v", k, ok)
+	}
+	count := 0
+	bt.Scan(0, func(k, v uint64) bool {
+		if k%2 == 0 {
+			t.Fatalf("deleted key %d in scan", k)
+		}
+		count++
+		return true
+	})
+	if count != n/2 {
+		t.Fatalf("scan visited %d", count)
+	}
+}
+
+func TestBTreeMatchesModel(t *testing.T) {
+	bt := newTestBTree(t)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			v := rng.Uint64()
+			bt.Put(k, v)
+			model[k] = v
+		case 6, 7:
+			got, ok := bt.Get(k)
+			want, wok := model[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) mismatch", i, k)
+			}
+		default:
+			present := bt.Delete(k)
+			_, wok := model[k]
+			if present != wok {
+				t.Fatalf("op %d: Delete(%d) = %v want %v", i, k, present, wok)
+			}
+			delete(model, k)
+		}
+	}
+	if bt.Len() != uint64(len(model)) {
+		t.Fatalf("len %d vs model %d", bt.Len(), len(model))
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted full comparison.
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	bt.Scan(0, func(k, v uint64) bool {
+		if i >= len(keys) || k != keys[i] || v != model[k] {
+			t.Fatalf("scan position %d: got %d", i, k)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d of %d", i, len(keys))
+	}
+}
+
+func TestBTreeOpenSharesState(t *testing.T) {
+	al := flatAlloc(1 << 20)
+	bt, _ := NewBTree(al)
+	bt.Put(42, 4242)
+	bt2 := OpenBTree(al, bt.Addr())
+	if v, ok := bt2.Get(42); !ok || v != 4242 {
+		t.Fatal("reopened tree lost entry")
+	}
+}
+
+// Property: random insert sequences always leave a structurally valid,
+// fully ordered tree.
+func TestBTreeInvariantProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		bt, err := NewBTree(flatAlloc(1 << 22))
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if bt.Put(uint64(k), uint64(k)+1) != nil {
+				return false
+			}
+		}
+		return bt.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package structures
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHashMapOps interprets the fuzz input as an op tape (op, key byte,
+// value length) and differentially checks the HashMap against Go's map.
+func FuzzHashMapOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 0, 2, 1, 0})
+	f.Add(bytes.Repeat([]byte{0, 7, 3}, 50))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		h, err := NewHashMap(flatAlloc(1<<22), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[string]string{}
+		for i := 0; i+2 < len(tape); i += 3 {
+			op, kb, vl := tape[i]%3, tape[i+1], int(tape[i+2]%17)+1
+			key := []byte{kb}
+			switch op {
+			case 0: // put
+				val := bytes.Repeat([]byte{kb ^ byte(vl)}, vl)
+				if err := h.Put(key, val); err != nil {
+					t.Fatal(err)
+				}
+				model[string(key)] = string(val)
+			case 1: // get
+				got, ok := h.Get(key)
+				want, wok := model[string(key)]
+				if ok != wok || (ok && string(got) != want) {
+					t.Fatalf("get(%d) = %q,%v want %q,%v", kb, got, ok, want, wok)
+				}
+			case 2: // delete
+				present, err := h.Delete(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, wok := model[string(key)]; present != wok {
+					t.Fatalf("delete(%d) = %v", kb, present)
+				}
+				delete(model, string(key))
+			}
+		}
+		if h.Len() != uint64(len(model)) {
+			t.Fatalf("len %d vs model %d", h.Len(), len(model))
+		}
+	})
+}
+
+// FuzzBTreeOps drives the B+tree with an op tape and checks invariants.
+func FuzzBTreeOps(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 9, 2, 5, 1, 9})
+	f.Add(bytes.Repeat([]byte{0, 200}, 60))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		bt, err := NewBTree(flatAlloc(1 << 22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[uint64]uint64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, k := tape[i]%3, uint64(tape[i+1])
+			switch op {
+			case 0:
+				if err := bt.Put(k, k+1); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = k + 1
+			case 1:
+				got, ok := bt.Get(k)
+				want, wok := model[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("get(%d) mismatch", k)
+				}
+			case 2:
+				present := bt.Delete(k)
+				if _, wok := model[k]; present != wok {
+					t.Fatalf("delete(%d) = %v", k, present)
+				}
+				delete(model, k)
+			}
+		}
+		if err := bt.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if bt.Len() != uint64(len(model)) {
+			t.Fatalf("len %d vs model %d", bt.Len(), len(model))
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package structures
+
+import (
+	"bytes"
+	"fmt"
+
+	"pax/internal/memory"
+)
+
+// HashMap is a chained hash table over arbitrary byte keys and values — the
+// stand-in for std::unordered_map / Rust's HashMap in the paper's examples.
+//
+// Layout:
+//
+//	header (32 B):  buckets u64 | nbuckets u64 | count u64 | reserved u64
+//	bucket array:   nbuckets × u64 chain heads
+//	node:           next u64 | hash u64 | klen u32 | vlen u32 | key | value
+//
+// The table doubles when the load factor reaches 1.0.
+type HashMap struct {
+	io    memIO
+	alloc memory.Allocator
+	head  uint64 // header address
+}
+
+const (
+	hmHeaderSize   = 32
+	hmNodeOverhead = 24
+	hmMinBuckets   = 8
+)
+
+// NewHashMap allocates an empty map with the given initial bucket count
+// (rounded up to a power of two, minimum 8).
+func NewHashMap(alloc memory.Allocator, initialBuckets int) (*HashMap, error) {
+	n := uint64(hmMinBuckets)
+	for n < uint64(initialBuckets) {
+		n <<= 1
+	}
+	head, err := alloc.Alloc(hmHeaderSize)
+	if err != nil {
+		return nil, fmt.Errorf("structures: hashmap header: %w", err)
+	}
+	buckets, err := alloc.Alloc(n * 8)
+	if err != nil {
+		return nil, fmt.Errorf("structures: hashmap buckets: %w", err)
+	}
+	h := &HashMap{io: memIO{alloc.Mem()}, alloc: alloc, head: head}
+	zero := make([]byte, n*8)
+	h.io.storeBytes(buckets, zero)
+	h.io.storeU64(head+0, buckets)
+	h.io.storeU64(head+8, n)
+	h.io.storeU64(head+16, 0)
+	h.io.storeU64(head+24, 0)
+	return h, nil
+}
+
+// OpenHashMap attaches to an existing map at addr (e.g. a recovered root).
+func OpenHashMap(alloc memory.Allocator, addr uint64) *HashMap {
+	return &HashMap{io: memIO{alloc.Mem()}, alloc: alloc, head: addr}
+}
+
+// Addr reports the header address, suitable for storing in a pool root slot.
+func (h *HashMap) Addr() uint64 { return h.head }
+
+// WithMem returns a view of the same map whose accesses go through m —
+// used to drive one shared structure from several simulated hardware
+// threads, each with its own timed memory view.
+func (h *HashMap) WithMem(m memory.Memory) *HashMap {
+	return &HashMap{io: memIO{m}, alloc: h.alloc, head: h.head}
+}
+
+// Len reports the number of entries.
+func (h *HashMap) Len() uint64 { return h.io.loadU64(h.head + 16) }
+
+func (h *HashMap) geometry() (buckets, nbuckets uint64) {
+	return h.io.loadU64(h.head + 0), h.io.loadU64(h.head + 8)
+}
+
+// findNode walks the chain for key, returning the node address and the
+// address of the pointer that references it (for unlinking).
+func (h *HashMap) findNode(key []byte) (node, parentPtr uint64) {
+	hash := fnv1a(key)
+	buckets, nbuckets := h.geometry()
+	slot := buckets + (hash&(nbuckets-1))*8
+	ptr := slot
+	for {
+		node := h.io.loadU64(ptr)
+		if node == 0 {
+			return 0, 0
+		}
+		if h.io.loadU64(node+8) == hash {
+			klen := h.io.loadU32(node + 16)
+			if int(klen) == len(key) && bytes.Equal(h.io.loadBytes(node+hmNodeOverhead, int(klen)), key) {
+				return node, ptr
+			}
+		}
+		ptr = node // next pointer is the node's first field
+	}
+}
+
+// Get returns the value for key, or ok=false.
+func (h *HashMap) Get(key []byte) ([]byte, bool) {
+	node, _ := h.findNode(key)
+	if node == 0 {
+		return nil, false
+	}
+	klen := h.io.loadU32(node + 16)
+	vlen := h.io.loadU32(node + 20)
+	return h.io.loadBytes(node+hmNodeOverhead+uint64(klen), int(vlen)), true
+}
+
+// Put inserts or replaces key's value. Same-length updates are done in
+// place; others reallocate the node.
+func (h *HashMap) Put(key, value []byte) error {
+	if node, parentPtr := h.findNode(key); node != 0 {
+		klen := h.io.loadU32(node + 16)
+		vlen := h.io.loadU32(node + 20)
+		if int(vlen) == len(value) {
+			h.io.storeBytes(node+hmNodeOverhead+uint64(klen), value)
+			return nil
+		}
+		// Replace the node: unlink, free, fall through to insert.
+		h.io.storeU64(parentPtr, h.io.loadU64(node))
+		if err := h.alloc.Free(node, hmNodeOverhead+uint64(klen)+uint64(vlen)); err != nil {
+			return err
+		}
+		h.io.storeU64(h.head+16, h.Len()-1)
+	}
+
+	hash := fnv1a(key)
+	size := hmNodeOverhead + uint64(len(key)) + uint64(len(value))
+	node, err := h.alloc.Alloc(size)
+	if err != nil {
+		return fmt.Errorf("structures: hashmap node: %w", err)
+	}
+	buckets, nbuckets := h.geometry()
+	slot := buckets + (hash&(nbuckets-1))*8
+	h.io.storeU64(node+0, h.io.loadU64(slot))
+	h.io.storeU64(node+8, hash)
+	h.io.storeU32(node+16, uint32(len(key)))
+	h.io.storeU32(node+20, uint32(len(value)))
+	h.io.storeBytes(node+hmNodeOverhead, key)
+	h.io.storeBytes(node+hmNodeOverhead+uint64(len(key)), value)
+	h.io.storeU64(slot, node)
+
+	count := h.Len() + 1
+	h.io.storeU64(h.head+16, count)
+	if count > nbuckets {
+		return h.grow()
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HashMap) Delete(key []byte) (bool, error) {
+	node, parentPtr := h.findNode(key)
+	if node == 0 {
+		return false, nil
+	}
+	h.io.storeU64(parentPtr, h.io.loadU64(node))
+	klen := h.io.loadU32(node + 16)
+	vlen := h.io.loadU32(node + 20)
+	if err := h.alloc.Free(node, hmNodeOverhead+uint64(klen)+uint64(vlen)); err != nil {
+		return true, err
+	}
+	h.io.storeU64(h.head+16, h.Len()-1)
+	return true, nil
+}
+
+// grow doubles the bucket array and rehashes every chain.
+func (h *HashMap) grow() error {
+	oldBuckets, oldN := h.geometry()
+	newN := oldN * 2
+	newBuckets, err := h.alloc.Alloc(newN * 8)
+	if err != nil {
+		return fmt.Errorf("structures: hashmap grow: %w", err)
+	}
+	zero := make([]byte, newN*8)
+	h.io.storeBytes(newBuckets, zero)
+	for i := uint64(0); i < oldN; i++ {
+		node := h.io.loadU64(oldBuckets + i*8)
+		for node != 0 {
+			next := h.io.loadU64(node)
+			hash := h.io.loadU64(node + 8)
+			slot := newBuckets + (hash&(newN-1))*8
+			h.io.storeU64(node, h.io.loadU64(slot))
+			h.io.storeU64(slot, node)
+			node = next
+		}
+	}
+	h.io.storeU64(h.head+0, newBuckets)
+	h.io.storeU64(h.head+8, newN)
+	return h.alloc.Free(oldBuckets, oldN*8)
+}
+
+// ForEach visits every entry in unspecified order. The callback must not
+// mutate the map.
+func (h *HashMap) ForEach(fn func(key, value []byte) bool) {
+	buckets, nbuckets := h.geometry()
+	for i := uint64(0); i < nbuckets; i++ {
+		node := h.io.loadU64(buckets + i*8)
+		for node != 0 {
+			klen := h.io.loadU32(node + 16)
+			vlen := h.io.loadU32(node + 20)
+			key := h.io.loadBytes(node+hmNodeOverhead, int(klen))
+			val := h.io.loadBytes(node+hmNodeOverhead+uint64(klen), int(vlen))
+			if !fn(key, val) {
+				return
+			}
+			node = h.io.loadU64(node)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package structures provides volatile data structures written exclusively
+// against the memory.Memory / memory.Allocator contract: a chained hash map,
+// a skip list, a growable vector, and a FIFO queue.
+//
+// None of this code knows anything about persistence. That is the point of
+// the paper (§3.1 "Black-Box Code Reuse"): handed an allocator whose memory
+// is a PAX vPM region, these exact structures become crash-consistent,
+// snapshot-persistent structures with no code changes; handed a DRAM-backed
+// allocator they are ordinary volatile structures; handed a logging wrapper
+// they become the compiler-instrumented baseline. The blackbox example and
+// the equivalence tests run the same structure over every backend.
+//
+// Concurrency follows §3.5: structures are not internally synchronized;
+// callers serialize access, and persist() must not overlap mutations.
+package structures
+
+import (
+	"encoding/binary"
+
+	"pax/internal/memory"
+)
+
+// memIO bundles the little-endian load/store helpers every structure uses.
+type memIO struct {
+	mem memory.Memory
+}
+
+func (io memIO) loadU64(addr uint64) uint64 {
+	var b [8]byte
+	io.mem.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (io memIO) storeU64(addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	io.mem.Store(addr, b[:])
+}
+
+func (io memIO) loadU32(addr uint64) uint32 {
+	var b [4]byte
+	io.mem.Load(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (io memIO) storeU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	io.mem.Store(addr, b[:])
+}
+
+func (io memIO) loadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	io.mem.Load(addr, b)
+	return b
+}
+
+func (io memIO) storeBytes(addr uint64, b []byte) {
+	io.mem.Store(addr, b)
+}
+
+// fnv1a is the hash used by the hash map and the skip list's deterministic
+// level draw. Hand-rolled so structure layout is identical across runs.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+package vpm
+
+import (
+	"testing"
+
+	"pax/internal/memory"
+)
+
+func TestRegionWindow(t *testing.T) {
+	flat := memory.NewFlat(1 << 16)
+	r := New(flat, 4096, 8192)
+	if r.Base() != 4096 || r.Size() != 8192 {
+		t.Fatal("geometry accessors wrong")
+	}
+	r.Store(5000, []byte("inside"))
+	buf := make([]byte, 6)
+	r.Load(5000, buf)
+	if string(buf) != "inside" {
+		t.Fatalf("got %q", buf)
+	}
+	if r.Loads.Load() != 1 || r.Stores.Load() != 1 {
+		t.Fatal("op counters wrong")
+	}
+	if r.LoadBytes.Load() != 6 || r.StoreBytes.Load() != 6 {
+		t.Fatal("byte counters wrong")
+	}
+	r.ResetStats()
+	if r.Loads.Load() != 0 || r.StoreBytes.Load() != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	flat := memory.NewFlat(1 << 16)
+	r := New(flat, 4096, 8192)
+	for _, fn := range []func(){
+		func() { r.Load(0, make([]byte, 1)) },            // below
+		func() { r.Load(4096+8192, make([]byte, 1)) },    // above
+		func() { r.Store(4096+8190, make([]byte, 4)) },   // straddles end
+		func() { r.Load(^uint64(0)-1, make([]byte, 8)) }, // overflow
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	// Boundary accesses are legal.
+	r.Store(4096, []byte{1})
+	r.Store(4096+8191, []byte{1})
+}
+
+func TestEmptyRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(memory.NewFlat(64), 0, 0)
+}

@@ -1,0 +1,254 @@
+// Package pax is the public API of the PAX reproduction: crash-consistent
+// snapshots for unmodified volatile data structures via a (simulated)
+// cache-coherent persistence accelerator, after "Cache-Coherent Accelerators
+// for Persistent Memory Crash Consistency" (HotStorage '22).
+//
+// The programming model mirrors the paper's Listing 1:
+//
+//	pool, _ := pax.MapPool("./ht.pool", pax.DefaultOptions())
+//	defer pool.Close()
+//	m, _ := pax.NewMap(pool, 0)         // constructs or recovers, same call
+//	m.Put([]byte("k"), []byte("v"))
+//	v, ok := m.Get([]byte("k"))
+//	pool.Persist()                      // atomic, crash-consistent snapshot
+//
+// Everything between two Persist calls is one epoch; after a crash the pool
+// always recovers to exactly the state of the last completed Persist.
+package pax
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"pax/internal/core"
+	"pax/internal/device"
+	"pax/internal/hbm"
+	"pax/internal/pmem"
+	"pax/internal/sim"
+)
+
+// DeviceProfile selects the accelerator transport the simulated PAX device
+// uses.
+type DeviceProfile string
+
+// Supported device profiles.
+const (
+	// ProfileCXL models a CXL 2.0 accelerator: ~25 ns/direction link, 1 GHz
+	// ASIC-class message pipeline.
+	ProfileCXL DeviceProfile = "cxl"
+	// ProfileEnzian models the paper's Enzian prototype: ~250 ns/direction
+	// coherence messages, 300 MHz FPGA pipeline.
+	ProfileEnzian DeviceProfile = "enzian"
+)
+
+// Options configure a pool.
+type Options struct {
+	// DataSize is the vPM data region size in bytes (default 64 MiB).
+	DataSize uint64
+	// LogSize is the undo log region size in bytes (default 8 MiB). Size it
+	// for the largest epoch working set: ~96 bytes per modified cache line.
+	LogSize uint64
+	// Profile selects the accelerator transport (default ProfileCXL).
+	Profile DeviceProfile
+	// HBMSize is the on-device cache size in bytes (default 16 MiB; 0
+	// disables the device cache).
+	HBMSize int
+}
+
+// DefaultOptions returns the default pool configuration.
+func DefaultOptions() Options {
+	return Options{DataSize: 64 << 20, LogSize: 8 << 20, Profile: ProfileCXL, HBMSize: 16 << 20}
+}
+
+func (o Options) fill() (core.Options, error) {
+	if o.DataSize == 0 {
+		o.DataSize = 64 << 20
+	}
+	if o.LogSize == 0 {
+		o.LogSize = 8 << 20
+	}
+	link := sim.CXLLink
+	switch o.Profile {
+	case ProfileCXL, "":
+		link = sim.CXLLink
+	case ProfileEnzian:
+		link = sim.EnzianLink
+	default:
+		return core.Options{}, fmt.Errorf("pax: unknown device profile %q", o.Profile)
+	}
+	// Normalize the HBM geometry: the cache needs a power-of-two set count,
+	// so round the requested size down to a power-of-two line count and cap
+	// associativity at 8.
+	hbmSize, hbmWays := 0, 0
+	if lines := o.HBMSize / 64; lines > 0 {
+		p := 1
+		for p*2 <= lines {
+			p *= 2
+		}
+		hbmWays = 8
+		if p < hbmWays {
+			hbmWays = p
+		}
+		hbmSize = p * 64
+	}
+	return core.Options{
+		DataSize: o.DataSize,
+		LogSize:  o.LogSize,
+		Device: device.Config{
+			Link:    link,
+			HBMSize: hbmSize,
+			HBMWays: hbmWays,
+			Policy:  hbm.PreferDurable,
+		},
+		Host: sim.DefaultHost(),
+	}, nil
+}
+
+// PersistStats describes one completed Persist.
+type PersistStats struct {
+	// Epoch is the epoch number that became durable.
+	Epoch uint64
+	// LinesSnooped is how many modified lines the device recalled from host
+	// caches; LinesWritten how many it wrote back to PM.
+	LinesSnooped, LinesWritten int
+	// SimulatedLatency is the virtual time Persist took.
+	SimulatedLatency sim.Time
+}
+
+// RecoveryInfo describes what opening the pool had to repair.
+type RecoveryInfo struct {
+	// DurableEpoch is the snapshot the pool recovered to.
+	DurableEpoch uint64
+	// LinesRolledBack is how many cache lines were undone from the log.
+	LinesRolledBack int
+}
+
+// Pool is an open PAX pool.
+type Pool struct {
+	inner *core.Pool
+	pm    *pmem.Device
+	path  string
+}
+
+func poolSize(o core.Options) int {
+	return int(core.HeaderSize + o.LogSize + o.DataSize)
+}
+
+// CreatePool formats a new pool. With a non-empty path the pool is backed by
+// that file (created or overwritten); with an empty path it is in-memory.
+func CreatePool(path string, opts Options) (*Pool, error) {
+	copts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	var pm *pmem.Device
+	if path == "" {
+		pm = pmem.New(pmem.DefaultConfig(poolSize(copts)))
+	} else {
+		_ = os.Remove(path)
+		pm, err = pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	inner, err := core.Create(pm, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{inner: inner, pm: pm, path: path}, nil
+}
+
+// OpenPool opens (and, if needed, recovers) an existing pool file.
+func OpenPool(path string, opts Options) (*Pool, error) {
+	copts, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(pm, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{inner: inner, pm: pm, path: path}, nil
+}
+
+// MapPool is the Listing 1 entry point: open the pool file if it exists
+// (recovering as needed), otherwise create it.
+func MapPool(path string, opts Options) (*Pool, error) {
+	if path == "" {
+		return CreatePool("", opts)
+	}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return CreatePool(path, opts)
+	}
+	return OpenPool(path, opts)
+}
+
+// Persist makes everything written since the previous Persist durable as one
+// atomic snapshot (§3.3). No goroutine may be mutating pool structures
+// during the call (§3.5).
+func (p *Pool) Persist() PersistStats {
+	rep := p.inner.Persist()
+	return PersistStats{
+		Epoch:            rep.Epoch,
+		LinesSnooped:     rep.LinesSnooped,
+		LinesWritten:     rep.LinesWritten,
+		SimulatedLatency: rep.Done,
+	}
+}
+
+// PersistAsync is the §6 non-blocking persist: the snapshot point is now,
+// but the calling thread does not wait for the device to finish committing.
+// A later Persist or Close fully serializes.
+func (p *Pool) PersistAsync() PersistStats {
+	rep := p.inner.PersistPipelined()
+	return PersistStats{
+		Epoch:            rep.Epoch,
+		LinesSnooped:     rep.LinesSnooped,
+		LinesWritten:     rep.LinesWritten,
+		SimulatedLatency: rep.Done,
+	}
+}
+
+// Recovery reports what opening this pool repaired (zero after CreatePool).
+func (p *Pool) Recovery() RecoveryInfo {
+	r := p.inner.Recovery()
+	return RecoveryInfo{DurableEpoch: r.DurableEpoch, LinesRolledBack: r.LinesRolledBack}
+}
+
+// Epoch reports the current (not yet durable) epoch number.
+func (p *Pool) Epoch() uint64 { return p.inner.Epoch() }
+
+// DurableEpoch reports the last committed epoch.
+func (p *Pool) DurableEpoch() uint64 { return p.inner.DurableEpoch() }
+
+// Close syncs the backing file (if any) without persisting the open epoch:
+// exactly like a crash, unpersisted changes are rolled back on next open.
+func (p *Pool) Close() error { return p.inner.Close() }
+
+// Alloc reserves size bytes of vPM and returns its address. Most callers use
+// the structure constructors instead.
+func (p *Pool) Alloc(size uint64) (uint64, error) { return p.inner.Allocator().Alloc(size) }
+
+// Free releases a block obtained from Alloc.
+func (p *Pool) Free(addr, size uint64) error { return p.inner.Allocator().Free(addr, size) }
+
+// Load reads raw vPM bytes (through the simulated host caches).
+func (p *Pool) Load(addr uint64, buf []byte) { p.inner.Mem(0).Load(addr, buf) }
+
+// Store writes raw vPM bytes (through the simulated host caches).
+func (p *Pool) Store(addr uint64, data []byte) { p.inner.Mem(0).Store(addr, data) }
+
+// SetRoot stores addr in one of the pool's named root slots (0..15).
+func (p *Pool) SetRoot(slot int, addr uint64) { p.inner.SetRoot(slot, addr) }
+
+// Root reads a named root slot; 0 means unset.
+func (p *Pool) Root(slot int) uint64 { return p.inner.Root(slot) }
+
+// Internal exposes the underlying core pool for the benchmark harness and
+// tools inside this module.
+func (p *Pool) Internal() *core.Pool { return p.inner }

@@ -1,0 +1,299 @@
+package pax_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pax"
+)
+
+func smallOpts() pax.Options {
+	return pax.Options{DataSize: 2 << 20, LogSize: 2 << 20, Profile: pax.ProfileCXL, HBMSize: 64 << 10}
+}
+
+func TestListing1Workflow(t *testing.T) {
+	// The paper's Listing 1, in Go.
+	pool, err := pax.MapPool("", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	m, err := pax.NewMap(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put([]byte("1"), []byte("100"))
+	if v, ok := m.Get([]byte("1")); !ok || string(v) != "100" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	m.Put([]byte("2"), []byte("200"))
+	st := pool.Persist()
+	if st.Epoch == 0 || st.SimulatedLatency <= 0 {
+		t.Fatalf("persist stats %+v", st)
+	}
+}
+
+func TestFileBackedRestartRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "restart.pool")
+	opts := smallOpts()
+
+	pool, err := pax.MapPool(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := pax.NewMap(pool, 0)
+	for i := 0; i < 100; i++ {
+		m.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	pool.Persist()
+	m.Put([]byte("unpersisted"), []byte("dies"))
+	if err := pool.Close(); err != nil { // close without persist = crash
+		t.Fatal(err)
+	}
+
+	// "Restart the process": map the same pool file.
+	pool2, err := pax.MapPool(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if pool2.Recovery().DurableEpoch == 0 {
+		t.Fatal("no recovery info after reopen")
+	}
+	m2, err := pax.NewMap(pool2, 0) // same call as construction (§3.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 100 {
+		t.Fatalf("recovered %d entries, want 100", m2.Len())
+	}
+	if v, ok := m2.Get([]byte("k042")); !ok || string(v) != "v042" {
+		t.Fatalf("k042 = %q %v", v, ok)
+	}
+	if _, ok := m2.Get([]byte("unpersisted")); ok {
+		t.Fatal("unpersisted entry survived restart")
+	}
+}
+
+func TestAllStructureFacades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "structs.pool")
+	pool, err := pax.MapPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := pax.NewMap(pool, 0)
+	sm, _ := pax.NewSortedMap(pool, 1)
+	q, _ := pax.NewQueue(pool, 2)
+	v, _ := pax.NewVector(pool, 3, 8)
+
+	m.Put([]byte("hash"), []byte("map"))
+	sm.Put([]byte("bbb"), []byte("2"))
+	sm.Put([]byte("aaa"), []byte("1"))
+	q.Push([]byte("first"))
+	q.Push([]byte("second"))
+	v.Push([]byte("elem0001"))
+	v.Push([]byte("elem0002"))
+	pool.Persist()
+	pool.Close()
+
+	pool2, err := pax.MapPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	m2, _ := pax.NewMap(pool2, 0)
+	sm2, _ := pax.NewSortedMap(pool2, 1)
+	q2, _ := pax.NewQueue(pool2, 2)
+	v2, _ := pax.NewVector(pool2, 3, 8)
+
+	if val, ok := m2.Get([]byte("hash")); !ok || string(val) != "map" {
+		t.Fatal("map lost")
+	}
+	if k, val, ok := sm2.Min(); !ok || string(k) != "aaa" || string(val) != "1" {
+		t.Fatalf("sorted map min = %q/%q", k, val)
+	}
+	var scanned []string
+	sm2.Scan(nil, func(k, _ []byte) bool {
+		scanned = append(scanned, string(k))
+		return true
+	})
+	if len(scanned) != 2 || scanned[0] != "aaa" || scanned[1] != "bbb" {
+		t.Fatalf("scan = %v", scanned)
+	}
+	if got, ok := q2.Peek(); !ok || string(got) != "first" {
+		t.Fatal("queue order lost")
+	}
+	if got, ok, _ := q2.Pop(); !ok || string(got) != "first" {
+		t.Fatal("queue pop wrong")
+	}
+	if v2.Len() != 2 || v2.ElemSize() != 8 {
+		t.Fatalf("vector len=%d elem=%d", v2.Len(), v2.ElemSize())
+	}
+	buf := make([]byte, 8)
+	v2.Get(1, buf)
+	if !bytes.Equal(buf, []byte("elem0002")) {
+		t.Fatalf("vector[1] = %q", buf)
+	}
+}
+
+func TestIndexFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.pool")
+	pool, err := pax.MapPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := pax.NewIndex(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := ix.Put(i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Delete(0)
+	pool.Persist()
+	pool.Close()
+
+	pool2, err := pax.MapPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	ix2, err := pax.NewIndex(pool2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 499 {
+		t.Fatalf("recovered %d entries", ix2.Len())
+	}
+	if k, v, ok := ix2.Min(); !ok || k != 3 || v != 1 {
+		t.Fatalf("min = %d/%d %v", k, v, ok)
+	}
+	var scanned int
+	prev := uint64(0)
+	ix2.Scan(0, func(k, v uint64) bool {
+		if scanned > 0 && k <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = k
+		scanned++
+		return true
+	})
+	if scanned != 499 {
+		t.Fatalf("scan visited %d", scanned)
+	}
+}
+
+func TestPersistAsync(t *testing.T) {
+	pool, err := pax.MapPool("", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	m, _ := pax.NewMap(pool, 0)
+	for round := 0; round < 5; round++ {
+		m.Put([]byte{byte(round)}, []byte{byte(round)})
+		st := pool.PersistAsync()
+		if st.Epoch == 0 {
+			t.Fatal("no epoch in async persist stats")
+		}
+	}
+	if pool.DurableEpoch() < 5 {
+		t.Fatalf("durable epoch %d after 5 async persists", pool.DurableEpoch())
+	}
+}
+
+func TestEnzianProfile(t *testing.T) {
+	opts := smallOpts()
+	opts.Profile = pax.ProfileEnzian
+	pool, err := pax.MapPool("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	m, _ := pax.NewMap(pool, 0)
+	m.Put([]byte("e"), []byte("nzian"))
+	pool.Persist()
+	if v, ok := m.Get([]byte("e")); !ok || string(v) != "nzian" {
+		t.Fatal("enzian-profile pool broken")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := smallOpts()
+	bad.Profile = "quantum"
+	if _, err := pax.MapPool("", bad); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+	if _, err := pax.OpenPool(filepath.Join(t.TempDir(), "missing.pool"), smallOpts()); err == nil {
+		t.Fatal("opened nonexistent pool")
+	}
+	pool, _ := pax.MapPool("", smallOpts())
+	defer pool.Close()
+	if _, err := pax.NewMap(pool, 99); err == nil {
+		t.Fatal("root slot 99 accepted")
+	}
+}
+
+func TestOddHBMSizeNormalized(t *testing.T) {
+	// Arbitrary (non-power-of-two) HBM sizes must be rounded to a valid
+	// geometry, not panic.
+	for _, size := range []int{0, 1, 63, 100_000, 1 << 20, 3<<20 + 7} {
+		opts := smallOpts()
+		opts.HBMSize = size
+		pool, err := pax.MapPool("", opts)
+		if err != nil {
+			t.Fatalf("HBMSize %d: %v", size, err)
+		}
+		m, _ := pax.NewMap(pool, 0)
+		m.Put([]byte("k"), []byte("v"))
+		pool.Persist()
+		pool.Close()
+	}
+}
+
+func TestRawAllocLoadStore(t *testing.T) {
+	pool, err := pax.MapPool("", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	addr, err := pool.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Store(addr, []byte("raw vPM access"))
+	buf := make([]byte, 14)
+	pool.Load(addr, buf)
+	if string(buf) != "raw vPM access" {
+		t.Fatalf("got %q", buf)
+	}
+	pool.SetRoot(5, addr)
+	if pool.Root(5) != addr {
+		t.Fatal("root round trip failed")
+	}
+	if err := pool.Free(addr, 128); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochAccounting(t *testing.T) {
+	pool, _ := pax.MapPool("", smallOpts())
+	defer pool.Close()
+	e0 := pool.Epoch()
+	d0 := pool.DurableEpoch()
+	if e0 != d0+1 {
+		t.Fatalf("epoch %d, durable %d", e0, d0)
+	}
+	m, _ := pax.NewMap(pool, 0)
+	m.Put([]byte("x"), []byte("y"))
+	pool.Persist()
+	if pool.DurableEpoch() != d0+1 || pool.Epoch() != e0+1 {
+		t.Fatalf("epochs after persist: durable %d epoch %d", pool.DurableEpoch(), pool.Epoch())
+	}
+}

@@ -1,0 +1,97 @@
+package pax_test
+
+// Whole-library property test: arbitrary op sequences against a pool,
+// crash-reopened at random persist boundaries, always match a model map
+// reconstructed from the committed prefix.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pax"
+)
+
+func TestPoolMatchesModelAcrossRestarts(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			path := filepath.Join(t.TempDir(), "prop.pool")
+			opts := smallOpts()
+
+			pool, err := pax.MapPool(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := pax.NewMap(pool, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// model mirrors committed state; pending mirrors the open epoch.
+			model := map[string]string{}
+			pending := map[string]*string{} // nil value = deleted
+
+			key := func() string { return fmt.Sprintf("k%03d", rng.Intn(60)) }
+			commit := func() {
+				pool.Persist()
+				for k, v := range pending {
+					if v == nil {
+						delete(model, k)
+					} else {
+						model[k] = *v
+					}
+				}
+				pending = map[string]*string{}
+			}
+
+			for round := 0; round < 6; round++ {
+				ops := 10 + rng.Intn(40)
+				for i := 0; i < ops; i++ {
+					k := key()
+					if rng.Intn(4) == 0 {
+						if _, err := m.Delete([]byte(k)); err != nil {
+							t.Fatal(err)
+						}
+						pending[k] = nil
+					} else {
+						v := fmt.Sprintf("v%06d", rng.Intn(1_000_000))
+						if err := m.Put([]byte(k), []byte(v)); err != nil {
+							t.Fatal(err)
+						}
+						vv := v
+						pending[k] = &vv
+					}
+				}
+				if rng.Intn(2) == 0 {
+					commit()
+				}
+				if rng.Intn(3) == 0 {
+					// Crash: pending ops die; reopen and verify the model.
+					pool.Close()
+					pool, err = pax.MapPool(path, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m, err = pax.NewMap(pool, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pending = map[string]*string{}
+					if m.Len() != uint64(len(model)) {
+						t.Fatalf("round %d: len %d vs model %d", round, m.Len(), len(model))
+					}
+					for k, v := range model {
+						got, ok := m.Get([]byte(k))
+						if !ok || string(got) != v {
+							t.Fatalf("round %d: %s = %q,%v want %q", round, k, got, ok, v)
+						}
+					}
+				}
+			}
+			pool.Close()
+		})
+	}
+}
