@@ -174,3 +174,8 @@ func BenchmarkHybridPaging(b *testing.B) { runExperiment(b, "hybrid") }
 func BenchmarkTailLatency(b *testing.B) { runExperiment(b, "tail") }
 
 func BenchmarkScanWorkload(b *testing.B) { runExperiment(b, "scan") }
+
+// BenchmarkLoadgenServing drives the paxserve group-commit engine with
+// concurrent clients (throughput and persist-batch amortization vs client
+// count); see also `paxbench -loadgen`.
+func BenchmarkLoadgenServing(b *testing.B) { runExperiment(b, "loadgen") }

@@ -6,9 +6,14 @@
 //	paxbench -list
 //	paxbench -experiment fig2a            # one experiment, paper scale
 //	paxbench -experiment all -scale quick # everything, small and fast
+//	paxbench -loadgen -clients 64 -ops 200 # serving-layer load generator
 //
 // Scales: "paper" uses a hash table far larger than the simulated LLC and
 // 100k measured operations per system; "quick" is a seconds-long smoke run.
+//
+// -loadgen drives the paxserve group-commit engine with concurrent clients
+// and prints the result table plus the full metrics registry as `name value`
+// lines (the same text the STATS wire request returns).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"pax/internal/benchkit"
+	"pax/internal/stats"
 )
 
 func main() {
@@ -26,8 +32,37 @@ func main() {
 		scale      = flag.String("scale", "paper", "run scale: quick | paper")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		format     = flag.String("format", "table", "output format: table | csv")
+		loadgen    = flag.Bool("loadgen", false, "run the serving-layer load generator and exit")
+		clients    = flag.Int("clients", 64, "loadgen: concurrent clients")
+		ops        = flag.Int("ops", 200, "loadgen: writes per client")
+		maxBatch   = flag.Int("max-batch", 128, "loadgen: max writes per group commit")
+		maxDelay   = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: max wait to fill a batch")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		res, err := benchkit.RunLoad(benchkit.LoadSpec{
+			Clients:      *clients,
+			OpsPerClient: *ops,
+			ValueBytes:   64,
+			GetEveryN:    4,
+			MaxBatch:     *maxBatch,
+			MaxDelay:     *maxDelay,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		t := stats.NewTable("loadgen", "clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "writes/s")
+		t.AddRowf(res.Spec.Clients, res.AckedWrites, res.GroupCommits, res.Amortization, res.BatchMax, res.Throughput)
+		fmt.Println(t.String())
+		fmt.Println("## metrics")
+		if _, err := res.Registry.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "paxbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-10s %-12s %s\n", "ID", "PAPER", "DESCRIPTION")

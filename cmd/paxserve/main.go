@@ -1,0 +1,131 @@
+// Command paxserve is the PAX KV daemon: it serves a pool file over TCP to
+// many concurrent clients, multiplexing them onto the paper's single-writer
+// programming model with epoch group commits (one Persist per batch of
+// writes, so N clients share one snapshot's cost).
+//
+// Usage:
+//
+//	paxserve -pool ./kv.pool                 # create or recover, then serve
+//	paxserve -pool ./kv.pool -addr :7421
+//	paxserve -pool ./kv.pool -overwrite      # reformat an existing pool
+//
+// The protocol is internal/wire's length-prefixed binary framing; the Go
+// client is pax/internal/wire.Client. SIGINT/SIGTERM shut down gracefully:
+// stop accepting, drain in-flight requests, and persist the open epoch, so a
+// clean shutdown never loses an acked write.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"pax"
+	"pax/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7421", "TCP listen address")
+		poolPath  = flag.String("pool", "", "pool file path (required; created if missing)")
+		dataSize  = flag.Uint64("data", 64<<20, "vPM data region size in bytes (pool creation only)")
+		logSize   = flag.Uint64("log", 8<<20, "undo log region size in bytes (pool creation only)")
+		hbmSize   = flag.Int("hbm", 16<<20, "device HBM cache size in bytes (0 disables)")
+		profile   = flag.String("profile", "cxl", "device profile: cxl | enzian")
+		overwrite = flag.Bool("overwrite", false, "reformat the pool file even if it already exists")
+		maxBatch  = flag.Int("max-batch", 128, "max writes acked per group commit")
+		maxDelay  = flag.Duration("max-delay", time.Millisecond, "max wait to fill a commit batch")
+		queue     = flag.Int("queue", 1024, "request queue depth (backpressure bound)")
+		reqTmo    = flag.Duration("req-timeout", 5*time.Second, "per-request enqueue timeout")
+		async     = flag.Bool("async", false, "commit batches with the pipelined persist (§6)")
+		slot      = flag.Int("root", 0, "pool root slot holding the served map")
+	)
+	flag.Parse()
+	if *poolPath == "" {
+		fmt.Fprintln(os.Stderr, "paxserve: -pool is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Catch a missing parent directory here: deeper in the stack a media
+	// sync failure is (deliberately) fatal, which is the wrong surface for
+	// a typo'd path.
+	if dir := filepath.Dir(*poolPath); dir != "." {
+		if _, err := os.Stat(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: pool directory: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	opts := pax.Options{
+		DataSize:  *dataSize,
+		LogSize:   *logSize,
+		HBMSize:   *hbmSize,
+		Profile:   pax.DeviceProfile(*profile),
+		Overwrite: *overwrite,
+	}
+	var pool *pax.Pool
+	var err error
+	if *overwrite {
+		pool, err = pax.CreatePool(*poolPath, opts)
+	} else {
+		pool, err = pax.MapPool(*poolPath, opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paxserve: opening pool: %v\n", err)
+		os.Exit(1)
+	}
+	if rec := pool.Recovery(); rec.LinesRolledBack > 0 {
+		fmt.Printf("paxserve: recovered pool to epoch %d (%d lines rolled back)\n",
+			rec.DurableEpoch, rec.LinesRolledBack)
+	}
+
+	eng, err := server.New(pool, *slot, server.Config{
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueDepth:     *queue,
+		EnqueueTimeout: *reqTmo,
+		Async:          *async,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paxserve: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.NewServer(eng)
+	srv.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	fmt.Printf("paxserve: serving %s on %s (durable epoch %d, max batch %d, max delay %v)\n",
+		*poolPath, lis.Addr(), pool.DurableEpoch(), *maxBatch, *maxDelay)
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("paxserve: %v: shutting down\n", sig)
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: serve: %v\n", err)
+		}
+	}
+	srv.Shutdown()
+	if err := eng.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "paxserve: engine close: %v\n", err)
+	}
+	if err := pool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "paxserve: pool close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("paxserve: pool sealed at durable epoch %d\n", pool.DurableEpoch())
+}

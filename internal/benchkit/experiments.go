@@ -78,6 +78,7 @@ func Experiments() []Experiment {
 		{"hybrid", "§5.1", "combining with paging: direct-mapped clean pages + vPM dirty pages", HybridPaging},
 		{"tail", "§3.2 extension", "tail latency: group commit's persist spikes vs per-op WAL", TailLatency},
 		{"scan", "§3.1 extension", "ordered structure (B+tree) inserts and range scans across systems", ScanWorkload},
+		{"loadgen", "§3.2 extension", "concurrent KV serving: group-commit amortization vs client count", Loadgen},
 	}
 }
 

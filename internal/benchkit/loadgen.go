@@ -1,0 +1,151 @@
+package benchkit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pax"
+	"pax/internal/server"
+	"pax/internal/stats"
+)
+
+// This file is the serving-layer load generator: instead of driving a
+// fixture single-threaded like the paper experiments, it stands up the
+// paxserve group-commit engine over an in-memory pool and hammers it with
+// concurrent client goroutines, measuring how many individually-acked
+// durable writes each snapshot amortizes.
+
+// LoadSpec parameterizes one loadgen run.
+type LoadSpec struct {
+	Clients      int
+	OpsPerClient int
+	ValueBytes   int
+	// GetEveryN issues a read after every N writes per client (0 disables).
+	GetEveryN int
+	MaxBatch  int
+	MaxDelay  time.Duration
+	// Async uses PersistAsync (§6 pipelined) for the group commits.
+	Async bool
+}
+
+// LoadResult summarizes a run.
+type LoadResult struct {
+	Spec         LoadSpec
+	AckedWrites  uint64
+	Gets         uint64
+	GroupCommits uint64
+	BatchMax     uint64
+	// Amortization is acked writes per snapshot — the group-commit payoff.
+	Amortization float64
+	Wall         time.Duration
+	Throughput   float64 // acked writes per wall second
+	// Registry is the engine+pool metrics registry, sampled safely (the
+	// engine is closed by the time RunLoad returns).
+	Registry *stats.Registry
+}
+
+// RunLoad executes one loadgen run on a fresh in-memory pool.
+func RunLoad(spec LoadSpec) (LoadResult, error) {
+	if spec.Clients <= 0 || spec.OpsPerClient <= 0 {
+		return LoadResult{}, fmt.Errorf("benchkit: loadgen needs clients and ops, got %+v", spec)
+	}
+	if spec.ValueBytes <= 0 {
+		spec.ValueBytes = 64
+	}
+	pool, err := pax.CreatePool("", pax.Options{DataSize: 64 << 20, LogSize: 16 << 20, HBMSize: 16 << 20})
+	if err != nil {
+		return LoadResult{}, err
+	}
+	defer pool.Close()
+	eng, err := server.New(pool, 0, server.Config{
+		MaxBatch: spec.MaxBatch,
+		MaxDelay: spec.MaxDelay,
+		Async:    spec.Async,
+	})
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	value := make([]byte, spec.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, spec.Clients)
+	for c := 0; c < spec.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for op := 0; op < spec.OpsPerClient; op++ {
+				key := []byte(fmt.Sprintf("c%04d-%06d", c, op))
+				if _, err := eng.Put(key, value); err != nil {
+					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
+					return
+				}
+				if spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
+					if _, ok, err := eng.Get(key); err != nil || !ok {
+						errs <- fmt.Errorf("client %d read-back %s: ok=%v err=%v", c, key, ok, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := eng.Close(); err != nil {
+		return LoadResult{}, err
+	}
+	select {
+	case err := <-errs:
+		return LoadResult{}, err
+	default:
+	}
+
+	res := LoadResult{
+		Spec:         spec,
+		AckedWrites:  eng.Stats().AckedWrites.Load(),
+		Gets:         eng.Stats().Gets.Load(),
+		GroupCommits: eng.Stats().GroupCommits.Load(),
+		BatchMax:     eng.Stats().BatchMax.Load(),
+		Wall:         wall,
+		Registry:     eng.Registry(),
+	}
+	if res.GroupCommits > 0 {
+		res.Amortization = float64(res.AckedWrites) / float64(res.GroupCommits)
+	}
+	if wall > 0 {
+		res.Throughput = float64(res.AckedWrites) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// Loadgen is the experiment wrapper: sweep client counts and report how
+// group-commit amortization and throughput scale with concurrency.
+func Loadgen(cfg Config, sz Sizes) []*stats.Table {
+	ops := sz.MeasureOps / 30
+	if ops < 20 {
+		ops = 20
+	}
+	table := stats.NewTable("loadgen: group-commit serving vs client count",
+		"clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "wall ms", "writes/s")
+	for _, clients := range []int{1, 4, 16, 64, 128} {
+		res, err := RunLoad(LoadSpec{
+			Clients:      clients,
+			OpsPerClient: ops,
+			ValueBytes:   64,
+			GetEveryN:    4,
+			MaxBatch:     128,
+			MaxDelay:     2 * time.Millisecond,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("benchkit: loadgen with %d clients: %v", clients, err))
+		}
+		table.AddRowf(clients, res.AckedWrites, res.GroupCommits,
+			res.Amortization, res.BatchMax,
+			float64(res.Wall.Milliseconds()), res.Throughput)
+	}
+	return []*stats.Table{table}
+}

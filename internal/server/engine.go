@@ -1,0 +1,396 @@
+// Package server is the paxserve subsystem: a single-writer commit engine
+// that multiplexes many concurrent client goroutines onto one PAX pool, plus
+// a TCP front end speaking the wire protocol.
+//
+// The paper's programming model is single-threaded: no goroutine may mutate
+// the pool while Persist runs (§3.5). Instead of pushing that burden onto
+// every caller, the engine funnels all operations through one writer
+// goroutine and turns Persist into a *group commit*: mutations are applied
+// in arrival order, and one snapshot per batch — bounded by MaxBatch and
+// MaxDelay — makes the whole batch durable before its callers are acked. N
+// concurrent writers therefore share one snapshot's cost, the same
+// amortization that makes PAX epochs (and Snapshot's msync batching) fast.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pax"
+	"pax/internal/stats"
+)
+
+// Engine errors.
+var (
+	// ErrClosed is returned for requests after Close (or a crash).
+	ErrClosed = errors.New("server: engine closed")
+	// ErrBusy is returned when the request queue stays full past the
+	// enqueue timeout — the backpressure signal.
+	ErrBusy = errors.New("server: request queue full")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// MaxBatch is the most acked mutations per group commit (default 128).
+	MaxBatch int
+	// MaxDelay bounds how long the first mutation of a batch waits for
+	// company before the commit is forced (default 1ms).
+	MaxDelay time.Duration
+	// QueueDepth bounds the request queue; a full queue pushes back on
+	// clients (default 1024).
+	QueueDepth int
+	// EnqueueTimeout is how long a request waits for queue space before
+	// failing with ErrBusy (default 5s).
+	EnqueueTimeout time.Duration
+	// Async commits batches with PersistAsync (§6 pipelined persist): the
+	// snapshot point is unchanged but the writer loop overlaps the device's
+	// commit with the next batch. Acks then mean "snapshot taken", not
+	// "snapshot fully on media".
+	Async bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = 5 * time.Second
+	}
+	return c
+}
+
+type opKind byte
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+	opPersist
+	opStats
+)
+
+type result struct {
+	value []byte
+	found bool
+	epoch uint64
+	text  string
+	err   error
+}
+
+type request struct {
+	op         opKind
+	key, value []byte
+	found      bool        // Delete: key was present (carried to the ack)
+	done       chan result // buffered(1); exactly one result per request
+}
+
+// EngineStats are the engine's own counters (the pool's live underneath).
+type EngineStats struct {
+	AckedWrites  stats.Counter // mutations acked durable
+	Gets         stats.Counter // reads served
+	GroupCommits stats.Counter // snapshots taken by the writer loop
+	BatchMax     stats.Counter // largest batch committed (gauge-as-counter)
+	Rejects      stats.Counter // requests dropped by backpressure
+}
+
+// Engine is the concurrent serving engine over one pool. All methods are
+// safe for concurrent use; internally a single writer goroutine owns the
+// pool, so the §3.5 single-mutator rule holds by construction.
+type Engine struct {
+	pool *pax.Pool
+	kv   *pax.Map
+	cfg  Config
+
+	reqs chan *request
+	stop chan struct{} // closed by Crash: abandon uncommitted work
+
+	mu     sync.RWMutex // guards closed against concurrent submit/Close
+	closed bool
+
+	wg    sync.WaitGroup
+	stats EngineStats
+	reg   *stats.Registry
+}
+
+// New builds an engine serving the map rooted at slot of pool and starts its
+// writer loop. The engine becomes the pool's only legal mutator: direct pool
+// use while the engine runs violates the single-writer model.
+func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
+	kv, err := pax.NewMap(pool, slot)
+	if err != nil {
+		return nil, fmt.Errorf("server: binding map root: %w", err)
+	}
+	e := &Engine{
+		pool: pool,
+		kv:   kv,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	e.reqs = make(chan *request, e.cfg.QueueDepth)
+	e.reg = pool.StatsRegistry()
+	e.reg.RegisterCounter("paxserve_acked_writes", &e.stats.AckedWrites)
+	e.reg.RegisterCounter("paxserve_gets", &e.stats.Gets)
+	e.reg.RegisterCounter("paxserve_group_commits", &e.stats.GroupCommits)
+	e.reg.RegisterCounter("paxserve_batch_max", &e.stats.BatchMax)
+	e.reg.RegisterCounter("paxserve_queue_rejects", &e.stats.Rejects)
+	e.wg.Add(1)
+	go e.loop()
+	return e, nil
+}
+
+// Stats exposes the engine counters.
+func (e *Engine) Stats() *EngineStats { return &e.stats }
+
+// Registry is the merged engine + pool metrics registry. The pool gauges
+// read simulator state, so sample it either via the STATS request (which
+// runs on the writer loop) or after Close — not concurrently with traffic.
+func (e *Engine) Registry() *stats.Registry { return e.reg }
+
+func (r *request) finish(res result) { r.done <- res }
+
+// begin enqueues a request without waiting for its result. On nil the
+// engine owns the request and will deliver exactly one result on req.done;
+// the caller must read it. Callers that enqueue from a single goroutine get
+// their requests applied in call order — that is what lets the TCP server
+// pipeline a connection's requests without reordering its writes.
+func (e *Engine) begin(req *request) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	timer := time.NewTimer(e.cfg.EnqueueTimeout)
+	defer timer.Stop()
+	select {
+	case e.reqs <- req:
+		e.mu.RUnlock()
+		return nil
+	case <-timer.C:
+		e.mu.RUnlock()
+		e.stats.Rejects.Inc()
+		return ErrBusy
+	case <-e.stop:
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+}
+
+func (e *Engine) submit(req *request) result {
+	if err := e.begin(req); err != nil {
+		return result{err: err}
+	}
+	return <-req.done
+}
+
+// Get returns the current value for key (applied order, not necessarily
+// durable yet — the engine's reads are read-your-writes).
+func (e *Engine) Get(key []byte) ([]byte, bool, error) {
+	res := e.submit(&request{op: opGet, key: key, done: make(chan result, 1)})
+	return res.value, res.found, res.err
+}
+
+// Put stores key=value and blocks until the write's group commit makes it
+// durable; the returned epoch is the snapshot containing it.
+func (e *Engine) Put(key, value []byte) (uint64, error) {
+	res := e.submit(&request{op: opPut, key: key, value: value, done: make(chan result, 1)})
+	return res.epoch, res.err
+}
+
+// Delete removes key, blocking like Put; found reports prior presence.
+func (e *Engine) Delete(key []byte) (bool, uint64, error) {
+	res := e.submit(&request{op: opDelete, key: key, done: make(chan result, 1)})
+	return res.found, res.epoch, res.err
+}
+
+// Persist forces a group commit and returns the durable epoch.
+func (e *Engine) Persist() (uint64, error) {
+	res := e.submit(&request{op: opPersist, done: make(chan result, 1)})
+	return res.epoch, res.err
+}
+
+// StatsText renders the metrics registry on the writer loop (so sampling
+// never races the mutator) and returns the `name value` lines.
+func (e *Engine) StatsText() (string, error) {
+	res := e.submit(&request{op: opStats, done: make(chan result, 1)})
+	return res.text, res.err
+}
+
+// markClosed flips the closed flag once; reports whether this call did it.
+func (e *Engine) markClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.closed = true
+	return true
+}
+
+// Close drains the queue, commits every remaining mutation plus the open
+// epoch, and stops the writer loop. Requests arriving after Close fail with
+// ErrClosed. Close does not close the pool — the owner does.
+func (e *Engine) Close() error {
+	if e.markClosed() {
+		close(e.reqs)
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// Crash is the test hook for failure injection: it stops the writer loop
+// without committing, abandoning applied-but-unacked mutations exactly as a
+// machine crash would. Queued and in-flight requests fail with ErrClosed.
+func (e *Engine) Crash() {
+	if !e.markClosed() {
+		// Already closed (gracefully or by an earlier Crash): nothing to
+		// abandon, just wait the loop out.
+		e.wg.Wait()
+		return
+	}
+	close(e.stop)
+	e.wg.Wait()
+	// The loop is gone; fail whatever is still sitting in the queue.
+	for {
+		select {
+		case req := <-e.reqs:
+			req.finish(result{err: ErrClosed})
+		default:
+			return
+		}
+	}
+}
+
+// apply executes one request against the pool. Mutations and persists are
+// returned as waiters to be acked at the batch commit; reads and stats are
+// answered immediately.
+func (e *Engine) apply(req *request) (waiter *request) {
+	switch req.op {
+	case opGet:
+		v, ok := e.kv.Get(req.key)
+		e.stats.Gets.Inc()
+		req.finish(result{value: v, found: ok})
+		return nil
+	case opPut:
+		if err := e.kv.Put(req.key, req.value); err != nil {
+			req.finish(result{err: err})
+			return nil
+		}
+		return req
+	case opDelete:
+		found, err := e.kv.Delete(req.key)
+		if err != nil {
+			req.finish(result{err: err})
+			return nil
+		}
+		req.found = found
+		return req
+	case opPersist:
+		return req
+	case opStats:
+		req.finish(result{text: e.reg.Text()})
+		return nil
+	}
+	req.finish(result{err: fmt.Errorf("server: unknown op %d", req.op)})
+	return nil
+}
+
+// commit snapshots the pool and acks every waiter with the durable epoch.
+func (e *Engine) commit(waiters []*request) {
+	if len(waiters) == 0 {
+		return
+	}
+	var st pax.PersistStats
+	if e.cfg.Async {
+		st = e.pool.PersistAsync()
+	} else {
+		st = e.pool.Persist()
+	}
+	e.stats.GroupCommits.Inc()
+	if n := uint64(len(waiters)); n > e.stats.BatchMax.Load() {
+		e.stats.BatchMax.Reset()
+		e.stats.BatchMax.Add(n)
+	}
+	for _, w := range waiters {
+		if w.op != opPersist {
+			e.stats.AckedWrites.Inc()
+		}
+		w.finish(result{found: w.found, epoch: st.Epoch})
+	}
+}
+
+func failAll(waiters []*request, err error) {
+	for _, w := range waiters {
+		w.finish(result{err: err})
+	}
+}
+
+// loop is the writer goroutine: it owns the pool and runs batches to
+// completion. Reads inside a batch are answered as they are applied; the
+// batch commits when it is full, when MaxDelay expires, on an explicit
+// persist, or when the engine drains for shutdown.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case req, ok := <-e.reqs:
+			if !ok {
+				// Graceful shutdown: every prior batch committed before
+				// this point, so one empty persist seals the open epoch.
+				e.pool.Persist()
+				return
+			}
+			if !e.runBatch(req) {
+				return
+			}
+		}
+	}
+}
+
+// runBatch applies first and keeps collecting until a commit condition
+// fires, then commits. It reports false when the engine crashed mid-batch.
+func (e *Engine) runBatch(first *request) bool {
+	var waiters []*request
+	force := first.op == opPersist
+	if w := e.apply(first); w != nil {
+		waiters = append(waiters, w)
+	}
+	if len(waiters) == 0 {
+		return true // pure reads: nothing to commit
+	}
+	timer := time.NewTimer(e.cfg.MaxDelay)
+	defer timer.Stop()
+	for !force && len(waiters) < e.cfg.MaxBatch {
+		select {
+		case <-e.stop:
+			failAll(waiters, ErrClosed)
+			return false
+		case <-timer.C:
+			force = true
+		case req, ok := <-e.reqs:
+			if !ok {
+				// Closing: commit what we have; loop sees !ok next and
+				// seals the epoch.
+				force = true
+				continue
+			}
+			if req.op == opPersist {
+				force = true
+			}
+			if w := e.apply(req); w != nil {
+				waiters = append(waiters, w)
+			}
+		}
+	}
+	e.commit(waiters)
+	return true
+}

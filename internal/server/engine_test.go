@@ -1,0 +1,264 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pax"
+)
+
+func smallOpts() pax.Options {
+	return pax.Options{DataSize: 8 << 20, LogSize: 4 << 20, HBMSize: 256 << 10}
+}
+
+func newTestEngine(t *testing.T, path string, cfg Config) (*pax.Pool, *Engine) {
+	t.Helper()
+	pool, err := pax.MapPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(pool, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, eng
+}
+
+func TestEngineBasicOps(t *testing.T) {
+	pool, eng := newTestEngine(t, "", Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	defer pool.Close()
+	defer eng.Close()
+
+	if _, err := eng.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := eng.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, _, err := eng.Get([]byte("missing")); err != nil {
+		t.Fatal(err)
+	}
+	found, _, err := eng.Delete([]byte("k1"))
+	if err != nil || !found {
+		t.Fatalf("delete: %v %v", found, err)
+	}
+	found, _, err = eng.Delete([]byte("k1"))
+	if err != nil || found {
+		t.Fatalf("re-delete: %v %v", found, err)
+	}
+	epoch, err := eng.Persist()
+	if err != nil || epoch == 0 {
+		t.Fatalf("persist: %d %v", epoch, err)
+	}
+	text, err := eng.StatsText()
+	if err != nil || !strings.Contains(text, "paxserve_acked_writes") || !strings.Contains(text, "pax_device_persists") {
+		t.Fatalf("stats text: %v\n%s", err, text)
+	}
+}
+
+// TestConcurrentPutsShareEpoch is the group-commit core claim: concurrent
+// PUTs from many goroutines land in the same epoch and are acked by one
+// snapshot.
+func TestConcurrentPutsShareEpoch(t *testing.T) {
+	pool, eng := newTestEngine(t, "", Config{MaxBatch: 64, MaxDelay: 500 * time.Millisecond})
+	defer pool.Close()
+	defer eng.Close()
+
+	const writers = 32
+	epochs := make([]uint64, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := eng.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+			if err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+			epochs[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < writers; i++ {
+		if epochs[i] != epochs[0] {
+			t.Fatalf("writer %d committed in epoch %d, writer 0 in %d", i, epochs[i], epochs[0])
+		}
+	}
+	if got := eng.Stats().GroupCommits.Load(); got != 1 {
+		t.Fatalf("32 concurrent puts took %d group commits, want 1", got)
+	}
+	if got := eng.Stats().AckedWrites.Load(); got != writers {
+		t.Fatalf("acked %d writes, want %d", got, writers)
+	}
+}
+
+// TestCrashRecoversExactlyAckedWrites drives concurrent clients, crashes the
+// engine mid-traffic (stop without persist, like the machine dying), and
+// checks the §3.4 recovery contract at the serving layer: every acked write
+// is present after reopening, every errored write is rolled back, nothing
+// else exists.
+func TestCrashRecoversExactlyAckedWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.pool")
+	pool, eng := newTestEngine(t, path, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
+
+	const clients = 16
+	type oplog struct {
+		acked, errored []string
+	}
+	logs := make([]oplog, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for op := 0; ; op++ {
+				key := fmt.Sprintf("c%02d-op%04d", c, op)
+				_, err := eng.Put([]byte(key), []byte("val-"+key))
+				if err != nil {
+					if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrBusy) {
+						t.Errorf("client %d: unexpected error %v", c, err)
+					}
+					logs[c].errored = append(logs[c].errored, key)
+					return
+				}
+				logs[c].acked = append(logs[c].acked, key)
+			}
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond)
+	eng.Crash()
+	wg.Wait()
+	if err := pool.Close(); err != nil { // crash-like close: no final persist
+		t.Fatal(err)
+	}
+
+	pool2, err := pax.OpenPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	kv, err := pax.NewMap(pool2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalAcked int
+	for c := range logs {
+		totalAcked += len(logs[c].acked)
+		for _, key := range logs[c].acked {
+			v, ok := kv.Get([]byte(key))
+			if !ok {
+				t.Fatalf("acked write %s lost after crash recovery", key)
+			}
+			if string(v) != "val-"+key {
+				t.Fatalf("acked write %s recovered with value %q", key, v)
+			}
+		}
+		for _, key := range logs[c].errored {
+			if _, ok := kv.Get([]byte(key)); ok {
+				t.Fatalf("unacked write %s survived the crash", key)
+			}
+		}
+	}
+	if totalAcked == 0 {
+		t.Fatal("test crashed before any write was acked; raise the sleep")
+	}
+	if got := int(kv.Len()); got != totalAcked {
+		t.Fatalf("recovered %d keys, want exactly the %d acked", got, totalAcked)
+	}
+	t.Logf("crash after %d acked writes; recovery kept all of them and dropped %d in-flight",
+		totalAcked, func() (n int) {
+			for c := range logs {
+				n += len(logs[c].errored)
+			}
+			return
+		}())
+}
+
+func TestEngineClosedAndBackpressureErrors(t *testing.T) {
+	pool, eng := newTestEngine(t, "", Config{
+		MaxBatch: 2, MaxDelay: time.Millisecond,
+		QueueDepth: 2, EnqueueTimeout: time.Nanosecond,
+	})
+	defer pool.Close()
+
+	const writers = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	busy := 0
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := eng.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+			if errors.Is(err, ErrBusy) {
+				mu.Lock()
+				busy++
+				mu.Unlock()
+			} else if err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Backpressure accounting must balance: every request either acked or
+	// counted as a reject.
+	acked := eng.Stats().AckedWrites.Load()
+	rejects := eng.Stats().Rejects.Load()
+	if acked+uint64(busy) != writers || rejects != uint64(busy) {
+		t.Fatalf("acked %d + busy %d != %d (rejects counter %d)", acked, busy, writers, rejects)
+	}
+
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Put([]byte("late"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, _, err := eng.Get([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after close: %v", err)
+	}
+	// Close is idempotent, and Crash after Close is a no-op.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Crash()
+}
+
+// TestCloseSealsOpenEpoch: graceful shutdown persists everything, so a
+// reopen recovers the full final state with no rollback.
+func TestCloseSealsOpenEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seal.pool")
+	pool, eng := newTestEngine(t, path, Config{MaxBatch: 64, MaxDelay: time.Millisecond})
+	for i := 0; i < 20; i++ {
+		if _, err := eng.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := pax.OpenPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if rb := pool2.Recovery().LinesRolledBack; rb != 0 {
+		t.Fatalf("clean shutdown still rolled back %d lines", rb)
+	}
+	kv, err := pax.NewMap(pool2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Len() != 20 {
+		t.Fatalf("recovered %d keys, want 20", kv.Len())
+	}
+}

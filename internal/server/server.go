@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pax/internal/wire"
+)
+
+// Server is the TCP front end: it speaks the wire protocol and forwards
+// requests to an Engine. Each connection gets a reader goroutine that
+// enqueues requests on the engine in wire order and a writer goroutine that
+// sends the responses back in that same order — so pipelined requests are
+// in flight concurrently and even a single connection's writes land in
+// shared group commits.
+type Server struct {
+	eng *Engine
+	// WriteTimeout bounds each response write (default 30s).
+	WriteTimeout time.Duration
+	// Logf, when set, receives connection-level errors (default: drop them;
+	// a malformed client is not a server event worth crashing over).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps an engine.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng, WriteTimeout: 30 * time.Second, conns: make(map[net.Conn]struct{})}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on lis until Shutdown. It returns nil after a
+// clean shutdown and the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrClosed
+	}
+	s.listener = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.shutdown
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes every live connection, and waits for the
+// handlers to drain. It does not close the engine — the daemon does, after
+// the last response is on the wire.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// maxInflight bounds how many pipelined requests one connection may have
+// dispatched at once; past it the reader stops reading and TCP pushes back.
+const maxInflight = 256
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Responses must leave in request order, but a response is not ready
+	// until its group commit — so the reader enqueues each request on the
+	// engine immediately (one goroutine, so the engine applies them in wire
+	// order) and pushes its wait function onto pending; the writer drains
+	// pending in order. Between the two, a connection's pipelined writes
+	// fill batches instead of paying one commit each.
+	pending := make(chan func() wire.Response, maxInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for wait := range pending {
+			resp := wait() // must consume even after a write error
+			if broken {
+				continue
+			}
+			if s.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			}
+			err := wire.WriteResponse(bw, resp)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				s.logf("paxserve: %s: write: %v", conn.RemoteAddr(), err)
+				broken = true
+				conn.Close() // unblock the reader
+			}
+		}
+	}()
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("paxserve: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		pending <- s.beginDispatch(req)
+	}
+	close(pending)
+	<-writerDone
+}
+
+// beginDispatch starts req on the engine and returns a function that blocks
+// for its result and renders the wire response. Enqueue failures (closed,
+// backpressure) resolve immediately.
+func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
+	var ereq *request
+	switch req.Op {
+	case wire.OpGet:
+		ereq = &request{op: opGet, key: req.Key}
+	case wire.OpPut:
+		ereq = &request{op: opPut, key: req.Key, value: req.Value}
+	case wire.OpDelete:
+		ereq = &request{op: opDelete, key: req.Key}
+	case wire.OpPersist:
+		ereq = &request{op: opPersist}
+	case wire.OpStats:
+		ereq = &request{op: opStats}
+	default:
+		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
+		return func() wire.Response { return resp }
+	}
+	ereq.done = make(chan result, 1)
+	if err := s.eng.begin(ereq); err != nil {
+		resp := errResponse(err)
+		return func() wire.Response { return resp }
+	}
+	op := req.Op
+	return func() wire.Response { return renderResponse(op, <-ereq.done) }
+}
+
+func renderResponse(op byte, res result) wire.Response {
+	if res.err != nil {
+		return errResponse(res.err)
+	}
+	switch op {
+	case wire.OpGet:
+		if !res.found {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK, Body: res.value}
+	case wire.OpPut, wire.OpPersist:
+		return wire.Response{Status: wire.StatusOK, Body: wire.EpochBody(res.epoch)}
+	case wire.OpDelete:
+		st := wire.StatusOK
+		if !res.found {
+			st = wire.StatusNotFound
+		}
+		return wire.Response{Status: st, Body: wire.EpochBody(res.epoch)}
+	case wire.OpStats:
+		return wire.Response{Status: wire.StatusOK, Body: []byte(res.text)}
+	}
+	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}
+}
+
+func errResponse(err error) wire.Response {
+	return wire.Response{Status: wire.StatusError, Body: []byte(err.Error())}
+}

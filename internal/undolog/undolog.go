@@ -35,6 +35,9 @@ const (
 	// EntrySize is the fixed on-media entry size: epoch(8) + seq(8) +
 	// addr(8) + old line(64) + crc(4) + pad(4) = 96 bytes.
 	EntrySize = 96
+	// MinRegionSize is the smallest log region that holds at least one
+	// entry; smaller regions cannot log a single modified line.
+	MinRegionSize = headerSize + EntrySize
 
 	logMagic   = 0x5041584c4f473031 // "PAXLOG01"
 	logVersion = 1

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ServerError is a StatusError reply decoded into a Go error.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "paxserve: " + e.Msg }
+
+// Client is a paxserve connection. It is safe for concurrent use and
+// pipelines: each caller writes its frame and queues a reply slot, then
+// blocks on its own slot while a single reader goroutine matches in-order
+// responses to slots. Under N concurrent callers the connection carries up
+// to N outstanding requests, which is what lets the server batch them into
+// one group commit.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	wmu    sync.Mutex // serializes frame writes and pending pushes
+	err    error      // sticky; set on first transport failure or Close
+	closed bool
+
+	pending chan chan result
+	done    chan struct{} // closed when the reader goroutine exits
+}
+
+type result struct {
+	resp Response
+	err  error
+}
+
+// maxPipeline bounds outstanding requests per connection; a caller past the
+// bound blocks in roundTrip until replies drain.
+const maxPipeline = 256
+
+// Dial connects to a paxserve at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, so tests can use
+// net.Pipe). The client owns conn and closes it on Close.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(chan chan result, maxPipeline),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReader(c.conn)
+	for slot := range c.pending {
+		resp, err := ReadResponse(br)
+		if err != nil {
+			c.fail(fmt.Errorf("wire: reading response: %w", err))
+			slot <- result{err: c.callErr()}
+			continue // keep draining: every queued slot gets the sticky error
+		}
+		slot <- result{resp: resp}
+	}
+}
+
+// fail records the first transport error and tears the connection down so
+// in-flight writers unblock.
+func (c *Client) fail(err error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.err == nil {
+		c.err = err
+		_ = c.conn.Close()
+	}
+}
+
+func (c *Client) callErr() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.err
+}
+
+// Close tears down the connection. Outstanding calls fail with
+// ErrClientClosed (or the read error that raced with it).
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	err := c.conn.Close()
+	close(c.pending)
+	c.wmu.Unlock()
+	<-c.done
+	return err
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	slot := make(chan result, 1)
+	c.wmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.wmu.Unlock()
+		return Response{}, err
+	}
+	if err := WriteRequest(c.bw, req); err == nil {
+		err = c.bw.Flush()
+		if err != nil {
+			c.wmu.Unlock()
+			c.fail(err)
+			return Response{}, err
+		}
+	} else {
+		c.wmu.Unlock()
+		return Response{}, err
+	}
+	// Push under wmu so pending order always matches write order.
+	c.pending <- slot
+	c.wmu.Unlock()
+
+	r := <-slot
+	if r.err != nil {
+		return Response{}, r.err
+	}
+	if r.resp.Status == StatusError {
+		return Response{}, &ServerError{Msg: string(r.resp.Body)}
+	}
+	return r.resp, nil
+}
+
+// Get fetches key; ok reports presence.
+func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Body, true, nil
+}
+
+// Put stores key=value, returning once the write is durable (its group
+// commit completed). The returned epoch is the snapshot that contains it.
+func (c *Client) Put(key, value []byte) (epoch uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: OpPut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return DecodeEpoch(resp.Body), nil
+}
+
+// Delete removes key, reporting whether it was present; like Put it returns
+// only after the delete is durable.
+func (c *Client) Delete(key []byte) (found bool, epoch uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Status != StatusNotFound, DecodeEpoch(resp.Body), nil
+}
+
+// Persist forces a group commit of everything applied so far.
+func (c *Client) Persist() (epoch uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: OpPersist})
+	if err != nil {
+		return 0, err
+	}
+	return DecodeEpoch(resp.Body), nil
+}
+
+// Stats fetches the server's metrics registry as `name value` text lines.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Body), nil
+}

@@ -1,0 +1,229 @@
+// Package wire is paxserve's client/server protocol: a small length-prefixed
+// binary framing for KV requests over a net.Conn.
+//
+// Every message is one frame:
+//
+//	frame    := length:u32be payload
+//	request  := op:u8 body
+//	response := status:u8 blen:u32be body
+//
+// Request bodies by opcode:
+//
+//	GET(1), DELETE(3):  klen:u32be key
+//	PUT(2):             klen:u32be key vlen:u32be value
+//	PERSIST(4), STATS(5): empty
+//
+// Response bodies: the value for GET, the durable epoch (u64le) for PUT /
+// DELETE / PERSIST, the registry text for STATS, an error message for
+// StatusError, empty otherwise. The protocol is strictly in-order
+// request/response per connection, which is what lets clients pipeline:
+// the k-th response on a connection always answers the k-th request.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpGet     byte = 1
+	OpPut     byte = 2
+	OpDelete  byte = 3
+	OpPersist byte = 4
+	OpStats   byte = 5
+)
+
+// Response statuses.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusError    byte = 2
+)
+
+// MaxFrame is the largest frame either side accepts. It bounds per-request
+// memory on both ends; a frame header announcing more is a protocol error.
+const MaxFrame = 16 << 20
+
+// Request is one decoded client request.
+type Request struct {
+	Op    byte
+	Key   []byte
+	Value []byte
+}
+
+// Response is one decoded server reply.
+type Response struct {
+	Status byte
+	Body   []byte
+}
+
+// OpName returns the mnemonic for an opcode (for errors and logs).
+func OpName(op byte) string {
+	switch op {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpPersist:
+		return "PERSIST"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func takeBytes(payload []byte) (field, rest []byte, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated length prefix")
+	}
+	n := binary.BigEndian.Uint32(payload)
+	payload = payload[4:]
+	if uint32(len(payload)) < n {
+		return nil, nil, fmt.Errorf("wire: field of %d bytes in %d-byte remainder", n, len(payload))
+	}
+	return payload[:n], payload[n:], nil
+}
+
+// EncodeRequest renders a request payload (without the frame header).
+func EncodeRequest(req Request) ([]byte, error) {
+	buf := []byte{req.Op}
+	switch req.Op {
+	case OpGet, OpDelete:
+		buf = appendBytes(buf, req.Key)
+	case OpPut:
+		buf = appendBytes(buf, req.Key)
+		buf = appendBytes(buf, req.Value)
+	case OpPersist, OpStats:
+		// No body.
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
+	}
+	return buf, nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, req Request) error {
+	payload, err := EncodeRequest(req)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, payload)
+}
+
+// ReadRequest reads and decodes one request frame. Key and Value alias a
+// fresh per-frame buffer, so callers may retain them.
+func ReadRequest(r *bufio.Reader) (Request, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(payload) < 1 {
+		return Request{}, fmt.Errorf("wire: empty request payload")
+	}
+	req := Request{Op: payload[0]}
+	rest := payload[1:]
+	switch req.Op {
+	case OpGet, OpDelete:
+		if req.Key, rest, err = takeBytes(rest); err != nil {
+			return Request{}, fmt.Errorf("wire: %s key: %w", OpName(req.Op), err)
+		}
+	case OpPut:
+		if req.Key, rest, err = takeBytes(rest); err != nil {
+			return Request{}, fmt.Errorf("wire: PUT key: %w", err)
+		}
+		if req.Value, rest, err = takeBytes(rest); err != nil {
+			return Request{}, fmt.Errorf("wire: PUT value: %w", err)
+		}
+	case OpPersist, OpStats:
+		// No body.
+	default:
+		return Request{}, fmt.Errorf("wire: unknown opcode %d", req.Op)
+	}
+	if len(rest) != 0 {
+		return Request{}, fmt.Errorf("wire: %d trailing bytes after %s", len(rest), OpName(req.Op))
+	}
+	return req, nil
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, resp Response) error {
+	payload := make([]byte, 0, 5+len(resp.Body))
+	payload = append(payload, resp.Status)
+	payload = appendBytes(payload, resp.Body)
+	return writeFrame(w, payload)
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r *bufio.Reader) (Response, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(payload) < 1 {
+		return Response{}, fmt.Errorf("wire: empty response payload")
+	}
+	resp := Response{Status: payload[0]}
+	body, rest, err := takeBytes(payload[1:])
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: response body: %w", err)
+	}
+	if len(rest) != 0 {
+		return Response{}, fmt.Errorf("wire: %d trailing bytes after response", len(rest))
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// EpochBody encodes a durable epoch as a response body.
+func EpochBody(epoch uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], epoch)
+	return b[:]
+}
+
+// DecodeEpoch decodes an EpochBody; zero for malformed bodies.
+func DecodeEpoch(body []byte) uint64 {
+	if len(body) != 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(body)
+}

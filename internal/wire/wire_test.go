@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: []byte("k")},
+		{Op: OpPut, Key: []byte("key"), Value: []byte("value")},
+		{Op: OpPut, Key: []byte(""), Value: []byte("")},
+		{Op: OpDelete, Key: []byte("gone")},
+		{Op: OpPersist},
+		{Op: OpStats},
+	}
+	var buf bytes.Buffer
+	for _, req := range reqs {
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("write %s: %v", OpName(req.Op), err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, want := range reqs {
+		got, err := ReadRequest(br)
+		if err != nil {
+			t.Fatalf("read %s: %v", OpName(want.Op), err)
+		}
+		if got.Op != want.Op || !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("round trip %s: got %+v want %+v", OpName(want.Op), got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Body: []byte("v")},
+		{Status: StatusNotFound},
+		{Status: StatusError, Body: []byte("boom")},
+		{Status: StatusOK, Body: EpochBody(712)},
+	}
+	var buf bytes.Buffer
+	for _, r := range resps {
+		if err := WriteResponse(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, want := range resps {
+		got, err := ReadResponse(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+	if DecodeEpoch(EpochBody(712)) != 712 {
+		t.Fatal("epoch body round trip")
+	}
+}
+
+func TestReadRequestRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":  {0, 0, 0, 0},
+		"unknown opcode": {0, 0, 0, 1, 99},
+		"truncated key":  {0, 0, 0, 3, OpGet, 0, 0},
+		"huge frame":     {0xff, 0xff, 0xff, 0xff},
+		"trailing bytes": {0, 0, 0, 7, OpGet, 0, 0, 0, 1, 'k', 'x'},
+	}
+	for name, raw := range cases {
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// echoServer answers GETs with the key as value and PUTs with epoch 7,
+// reading and writing frames strictly in order.
+func echoServer(t *testing.T, conn net.Conn) {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			return
+		}
+		var resp Response
+		switch req.Op {
+		case OpGet:
+			resp = Response{Status: StatusOK, Body: req.Key}
+		case OpPut:
+			resp = Response{Status: StatusOK, Body: EpochBody(7)}
+		case OpStats:
+			resp = Response{Status: StatusOK, Body: []byte("x 1\n")}
+		default:
+			resp = Response{Status: StatusError, Body: []byte("nope")}
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func TestClientPipelinesConcurrentCallers(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	go echoServer(t, srvConn)
+	c := NewClient(cliConn)
+	defer c.Close()
+
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("key-%d", i))
+			v, ok, err := c.Get(key)
+			if err != nil || !ok || !bytes.Equal(v, key) {
+				errs <- fmt.Errorf("get %s: v=%q ok=%v err=%v", key, v, ok, err)
+				return
+			}
+			if ep, err := c.Put(key, key); err != nil || ep != 7 {
+				errs <- fmt.Errorf("put %s: epoch=%d err=%v", key, ep, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	go echoServer(t, srvConn)
+	c := NewClient(cliConn)
+	defer c.Close()
+
+	_, err := c.Persist()
+	var se *ServerError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "nope") {
+		t.Fatalf("want ServerError(nope), got %v", err)
+	}
+	// The connection survives a server-level error.
+	if _, ok, err := c.Get([]byte("k")); err != nil || !ok {
+		t.Fatalf("get after error: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClientCloseFailsOutstanding(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn)
+	// Server reads the request but never answers.
+	seen := make(chan struct{})
+	go func() {
+		br := bufio.NewReader(srvConn)
+		_, _ = ReadRequest(br)
+		close(seen)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get([]byte("k"))
+		done <- err
+	}()
+	// Wait until the request is on the wire, then close underneath it.
+	<-seen
+	_ = c.Close()
+	if err := <-done; err == nil {
+		t.Fatal("outstanding call survived Close")
+	}
+	if _, _, err := c.Get([]byte("k")); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}

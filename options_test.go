@@ -1,0 +1,120 @@
+package pax_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pax"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts pax.Options
+		want string // substring of the error
+	}{
+		{"tiny log", pax.Options{DataSize: 2 << 20, LogSize: 128}, "LogSize"},
+		{"sub-entry log", pax.Options{DataSize: 2 << 20, LogSize: 96}, "LogSize"},
+		{"negative hbm", pax.Options{DataSize: 2 << 20, LogSize: 2 << 20, HBMSize: -1}, "HBMSize"},
+		{"bad profile", pax.Options{DataSize: 2 << 20, LogSize: 2 << 20, Profile: "tpu"}, "profile"},
+	}
+	for _, tc := range cases {
+		_, err := pax.CreatePool("", tc.opts)
+		if err == nil {
+			t.Errorf("%s: CreatePool accepted %+v", tc.name, tc.opts)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Zero sizes still mean "default", not "invalid".
+	pool, err := pax.CreatePool("", pax.Options{})
+	if err != nil {
+		t.Fatalf("defaulted options rejected: %v", err)
+	}
+	pool.Close()
+}
+
+func TestCreatePoolRefusesToClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.pool")
+	pool, err := pax.CreatePool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pax.NewMap(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	pool.Persist()
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second CreatePool on the same path must refuse...
+	if _, err := pax.CreatePool(path, smallOpts()); err == nil || !strings.Contains(err.Error(), "Overwrite") {
+		t.Fatalf("CreatePool clobbered an existing pool (err=%v)", err)
+	}
+	// ...and the original data must survive the attempt.
+	pool2, err := pax.OpenPool(path, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pax.NewMap(pool2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("pool damaged by refused CreatePool: %q %v", v, ok)
+	}
+	if err := pool2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With Overwrite set the reformat goes through and the data is gone.
+	opts := smallOpts()
+	opts.Overwrite = true
+	pool3, err := pax.CreatePool(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool3.Close()
+	m3, err := pax.NewMap(pool3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m3.Get([]byte("k")); ok {
+		t.Fatal("Overwrite did not reformat the pool")
+	}
+}
+
+func TestOpenPoolIgnoresGeometryOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "geom.pool")
+	pool, err := pax.CreatePool(path, pax.Options{DataSize: 4 << 20, LogSize: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := pax.NewMap(pool, 0)
+	_ = m.Put([]byte("k"), []byte("v"))
+	pool.Persist()
+	pool.Close()
+
+	// Reopen with completely different (default) sizes: geometry must come
+	// from the header, like a daemon restarting without its creation flags.
+	pool2, err := pax.OpenPool(path, pax.DefaultOptions())
+	if err != nil {
+		t.Fatalf("reopen with default options: %v", err)
+	}
+	defer pool2.Close()
+	m2, err := pax.NewMap(pool2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("reopened pool lost data: %q %v", v, ok)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"pax/internal/hbm"
 	"pax/internal/pmem"
 	"pax/internal/sim"
+	"pax/internal/stats"
+	"pax/internal/undolog"
 )
 
 // DeviceProfile selects the accelerator transport the simulated PAX device
@@ -52,8 +54,11 @@ type Options struct {
 	// Profile selects the accelerator transport (default ProfileCXL).
 	Profile DeviceProfile
 	// HBMSize is the on-device cache size in bytes (default 16 MiB; 0
-	// disables the device cache).
+	// disables the device cache). Negative sizes are rejected.
 	HBMSize int
+	// Overwrite lets CreatePool reformat a path that already holds a file.
+	// Without it, CreatePool refuses to clobber existing pools.
+	Overwrite bool
 }
 
 // DefaultOptions returns the default pool configuration.
@@ -67,6 +72,14 @@ func (o Options) fill() (core.Options, error) {
 	}
 	if o.LogSize == 0 {
 		o.LogSize = 8 << 20
+	}
+	if o.LogSize < undolog.MinRegionSize {
+		return core.Options{}, fmt.Errorf(
+			"pax: LogSize %d too small: the undo log needs at least %d bytes (64-byte header + one %d-byte entry)",
+			o.LogSize, undolog.MinRegionSize, undolog.EntrySize)
+	}
+	if o.HBMSize < 0 {
+		return core.Options{}, fmt.Errorf("pax: negative HBMSize %d (use 0 to disable the device cache)", o.HBMSize)
 	}
 	link := sim.CXLLink
 	switch o.Profile {
@@ -136,7 +149,9 @@ func poolSize(o core.Options) int {
 }
 
 // CreatePool formats a new pool. With a non-empty path the pool is backed by
-// that file (created or overwritten); with an empty path it is in-memory.
+// that file; with an empty path it is in-memory. An existing file at path is
+// an error unless opts.Overwrite is set — a pool is durable state, and
+// reformatting one should never happen by accident.
 func CreatePool(path string, opts Options) (*Pool, error) {
 	copts, err := opts.fill()
 	if err != nil {
@@ -146,7 +161,12 @@ func CreatePool(path string, opts Options) (*Pool, error) {
 	if path == "" {
 		pm = pmem.New(pmem.DefaultConfig(poolSize(copts)))
 	} else {
-		_ = os.Remove(path)
+		if _, err := os.Stat(path); err == nil {
+			if !opts.Overwrite {
+				return nil, fmt.Errorf("pax: pool %q already exists (set Options.Overwrite to reformat it)", path)
+			}
+			_ = os.Remove(path)
+		}
 		pm, err = pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
 		if err != nil {
 			return nil, err
@@ -159,13 +179,20 @@ func CreatePool(path string, opts Options) (*Pool, error) {
 	return &Pool{inner: inner, pm: pm, path: path}, nil
 }
 
-// OpenPool opens (and, if needed, recovers) an existing pool file.
+// OpenPool opens (and, if needed, recovers) an existing pool file. The
+// region geometry (DataSize/LogSize) comes from the pool header, not opts,
+// so a pool can be reopened without repeating its creation sizes; Profile
+// and HBMSize still configure the device.
 func OpenPool(path string, opts Options) (*Pool, error) {
 	copts, err := opts.fill()
 	if err != nil {
 		return nil, err
 	}
-	pm, err := pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("pax: opening pool: %w", err)
+	}
+	pm, err := pmem.Open(path, pmem.DefaultConfig(int(fi.Size())))
 	if err != nil {
 		return nil, err
 	}
@@ -252,3 +279,97 @@ func (p *Pool) Root(slot int) uint64 { return p.inner.Root(slot) }
 // Internal exposes the underlying core pool for the benchmark harness and
 // tools inside this module.
 func (p *Pool) Internal() *core.Pool { return p.inner }
+
+// PoolStats is a point-in-time snapshot of the pool's device, host-cache,
+// and undo-log counters. Like every pool operation it must not race with a
+// mutator: take snapshots from the goroutine that owns the pool (the serving
+// engine does exactly that).
+type PoolStats struct {
+	// Epoch is the open epoch; DurableEpoch the last committed one.
+	Epoch, DurableEpoch uint64
+
+	// Device-side counters (§3.2/§3.3 event stream).
+	DeviceLogAppends   uint64 // undo entries written
+	DeviceLogSkips     uint64 // upgrades for lines already logged this epoch
+	DeviceFillsServed  uint64 // host line fills served
+	DeviceHBMHits      uint64 // fills served from the HBM cache
+	DeviceHBMMisses    uint64 // fills that went to PM media
+	DeviceSnoopsSent   uint64 // persist()-time SnpData recalls
+	DeviceSnoopsDirty  uint64 // recalls that returned modified data
+	DeviceLinesWritten uint64 // lines written back to PM data space
+	DevicePersists     uint64 // persist() calls completed
+
+	// Host cache-hierarchy counters.
+	HostLLCHits    uint64
+	HostLLCMisses  uint64
+	HostUpgrades   uint64 // exclusive-ownership notifications (log triggers)
+	HostWriteBacks uint64 // dirty LLC evictions
+
+	// Undo-log occupancy.
+	LogLiveEntries     int // entries not yet truncated
+	LogCapacityEntries int // total entry slots
+	LogPeakLive        int // high-water mark of live entries
+	LogAppends         uint64
+	LogTruncations     uint64
+}
+
+// Stats snapshots the pool's device/cache/undo-log counters.
+func (p *Pool) Stats() PoolStats {
+	d := p.inner.Device()
+	h := p.inner.Hierarchy()
+	log := d.Log()
+	s := PoolStats{
+		Epoch:              p.inner.Epoch(),
+		DurableEpoch:       p.inner.DurableEpoch(),
+		DeviceLogAppends:   d.Stats.LogAppends.Load(),
+		DeviceLogSkips:     d.Stats.LogSkips.Load(),
+		DeviceFillsServed:  d.Stats.FillsServed.Load(),
+		DeviceHBMHits:      d.Stats.HBMHits.Load(),
+		DeviceSnoopsSent:   d.Stats.SnoopsSent.Load(),
+		DeviceSnoopsDirty:  d.Stats.SnoopsDirty.Load(),
+		DeviceLinesWritten: d.Stats.LinesPersisted.Load(),
+		DevicePersists:     d.Stats.Persists.Load(),
+		HostLLCHits:        h.LLCRatio.Hits.Load(),
+		HostLLCMisses:      h.LLCRatio.Misses.Load(),
+		HostUpgrades:       h.Upgrades.Load(),
+		HostWriteBacks:     h.WriteBacks.Load(),
+		LogLiveEntries:     log.Live(),
+		LogCapacityEntries: log.CapacityEntries(),
+		LogPeakLive:        log.PeakLive,
+		LogAppends:         log.Appends,
+		LogTruncations:     log.Truncations,
+	}
+	s.DeviceHBMMisses = s.DeviceFillsServed - s.DeviceHBMHits
+	return s
+}
+
+// StatsRegistry returns a metrics registry over this pool's live counters,
+// with stable `pax_*` gauge names. Sampling the registry reads the same
+// counters as Stats and has the same single-mutator requirement.
+func (p *Pool) StatsRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	gauge := func(name string, fn func(PoolStats) float64) {
+		r.Register(name, func() float64 { return fn(p.Stats()) })
+	}
+	gauge("pax_epoch", func(s PoolStats) float64 { return float64(s.Epoch) })
+	gauge("pax_durable_epoch", func(s PoolStats) float64 { return float64(s.DurableEpoch) })
+	gauge("pax_device_log_appends", func(s PoolStats) float64 { return float64(s.DeviceLogAppends) })
+	gauge("pax_device_log_skips", func(s PoolStats) float64 { return float64(s.DeviceLogSkips) })
+	gauge("pax_device_fills_served", func(s PoolStats) float64 { return float64(s.DeviceFillsServed) })
+	gauge("pax_device_hbm_hits", func(s PoolStats) float64 { return float64(s.DeviceHBMHits) })
+	gauge("pax_device_hbm_misses", func(s PoolStats) float64 { return float64(s.DeviceHBMMisses) })
+	gauge("pax_device_snoops_sent", func(s PoolStats) float64 { return float64(s.DeviceSnoopsSent) })
+	gauge("pax_device_snoops_dirty", func(s PoolStats) float64 { return float64(s.DeviceSnoopsDirty) })
+	gauge("pax_device_lines_written", func(s PoolStats) float64 { return float64(s.DeviceLinesWritten) })
+	gauge("pax_device_persists", func(s PoolStats) float64 { return float64(s.DevicePersists) })
+	gauge("pax_host_llc_hits", func(s PoolStats) float64 { return float64(s.HostLLCHits) })
+	gauge("pax_host_llc_misses", func(s PoolStats) float64 { return float64(s.HostLLCMisses) })
+	gauge("pax_host_upgrades", func(s PoolStats) float64 { return float64(s.HostUpgrades) })
+	gauge("pax_host_writebacks", func(s PoolStats) float64 { return float64(s.HostWriteBacks) })
+	gauge("pax_log_live_entries", func(s PoolStats) float64 { return float64(s.LogLiveEntries) })
+	gauge("pax_log_capacity_entries", func(s PoolStats) float64 { return float64(s.LogCapacityEntries) })
+	gauge("pax_log_peak_live", func(s PoolStats) float64 { return float64(s.LogPeakLive) })
+	gauge("pax_log_appends_total", func(s PoolStats) float64 { return float64(s.LogAppends) })
+	gauge("pax_log_truncations_total", func(s PoolStats) float64 { return float64(s.LogTruncations) })
+	return r
+}

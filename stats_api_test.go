@@ -1,0 +1,47 @@
+package pax_test
+
+import (
+	"strings"
+	"testing"
+
+	"pax"
+)
+
+func TestPoolStatsSnapshot(t *testing.T) {
+	pool, err := pax.MapPool("", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	m, err := pax.NewMap(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := m.Put([]byte{byte(i), 'k'}, []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Persist()
+
+	s := pool.Stats()
+	if s.DevicePersists == 0 || s.DeviceLogAppends == 0 || s.HostUpgrades == 0 {
+		t.Fatalf("counters did not move: %+v", s)
+	}
+	if s.DurableEpoch != st.Epoch || s.Epoch != st.Epoch+1 {
+		t.Fatalf("epoch bookkeeping: stats %d/%d, persist reported %d", s.Epoch, s.DurableEpoch, st.Epoch)
+	}
+	if s.DeviceHBMMisses != s.DeviceFillsServed-s.DeviceHBMHits {
+		t.Fatalf("HBM miss derivation inconsistent: %+v", s)
+	}
+	if s.LogCapacityEntries == 0 || s.LogAppends == 0 {
+		t.Fatalf("log counters did not move: %+v", s)
+	}
+
+	text := pool.StatsRegistry().Text()
+	for _, metric := range []string{"pax_device_persists", "pax_durable_epoch", "pax_host_upgrades", "pax_log_appends_total"} {
+		if !strings.Contains(text, metric+" ") {
+			t.Fatalf("registry missing %s:\n%s", metric, text)
+		}
+	}
+}
