@@ -7,19 +7,32 @@
 //	paxbench -experiment fig2a            # one experiment, paper scale
 //	paxbench -experiment all -scale quick # everything, small and fast
 //	paxbench -loadgen -clients 64 -ops 200 # serving-layer load generator
+//	paxbench -loadgen -shards 1,2,4,8 -format json -out BENCH_loadgen.json
 //
 // Scales: "paper" uses a hash table far larger than the simulated LLC and
 // 100k measured operations per system; "quick" is a seconds-long smoke run.
 //
-// -loadgen drives the paxserve group-commit engine with concurrent clients
-// and prints the result table plus the full metrics registry as `name value`
-// lines (the same text the STATS wire request returns).
+// -loadgen drives the paxserve group-commit engine with concurrent clients,
+// sweeping the comma-separated -shards counts. By default the run is
+// commit-latency-bound: -commit-latency models the real-time cost of an
+// epoch commit on the backing medium (an msync-class sync; the in-memory
+// simulator would otherwise commit at host-CPU speed), so a single pool has
+// one commit in flight at a time and the sweep measures how sharding
+// overlaps that latency. The default table output
+// prints one row per shard count plus the merged metrics registry as
+// `name value` lines (the same text the STATS wire request returns);
+// -format json emits a machine-readable record array instead, and -out
+// additionally writes that JSON to a file (e.g. BENCH_loadgen.json) so the
+// perf trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pax/internal/benchkit"
@@ -33,32 +46,19 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		format     = flag.String("format", "table", "output format: table | csv")
 		loadgen    = flag.Bool("loadgen", false, "run the serving-layer load generator and exit")
-		clients    = flag.Int("clients", 64, "loadgen: concurrent clients")
-		ops        = flag.Int("ops", 200, "loadgen: writes per client")
-		maxBatch   = flag.Int("max-batch", 128, "loadgen: max writes per group commit")
+		clients    = flag.Int("clients", 256, "loadgen: concurrent clients")
+		ops        = flag.Int("ops", 150, "loadgen: writes per client")
+		maxBatch   = flag.Int("max-batch", 16, "loadgen: max writes per group commit")
 		maxDelay   = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: max wait to fill a batch")
+		commitLat  = flag.Duration("commit-latency", 2*time.Millisecond, "loadgen: modeled media latency per group commit (0 = simulator speed)")
+		shards     = flag.String("shards", "1", "loadgen: comma-separated shard counts to sweep (e.g. 1,2,4,8)")
+		jsonOut    = flag.String("out", "", "loadgen: also write the JSON records to this file")
 	)
 	flag.Parse()
 
 	if *loadgen {
-		res, err := benchkit.RunLoad(benchkit.LoadSpec{
-			Clients:      *clients,
-			OpsPerClient: *ops,
-			ValueBytes:   64,
-			GetEveryN:    4,
-			MaxBatch:     *maxBatch,
-			MaxDelay:     *maxDelay,
-		})
-		if err != nil {
+		if err := runLoadgen(*shards, *clients, *ops, *maxBatch, *maxDelay, *commitLat, *format, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
-			os.Exit(1)
-		}
-		t := stats.NewTable("loadgen", "clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "writes/s")
-		t.AddRowf(res.Spec.Clients, res.AckedWrites, res.GroupCommits, res.Amortization, res.BatchMax, res.Throughput)
-		fmt.Println(t.String())
-		fmt.Println("## metrics")
-		if _, err := res.Registry.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "paxbench: writing metrics: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -112,4 +112,67 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// runLoadgen sweeps the requested shard counts and reports each run, as a
+// table plus metrics registry or as JSON records.
+func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLat time.Duration, format, jsonOut string) error {
+	var counts []int
+	for _, f := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -shards value %q (want positive ints like 1,2,4,8)", f)
+		}
+		counts = append(counts, n)
+	}
+	var (
+		records []benchkit.LoadJSON
+		results []benchkit.LoadResult
+	)
+	for _, n := range counts {
+		res, err := benchkit.RunLoad(benchkit.LoadSpec{
+			Clients:       clients,
+			OpsPerClient:  ops,
+			ValueBytes:    64,
+			GetEveryN:     4,
+			MaxBatch:      maxBatch,
+			MaxDelay:      maxDelay,
+			Shards:        n,
+			CommitLatency: commitLat,
+		})
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", n, err)
+		}
+		records = append(records, res.JSON())
+		results = append(results, res)
+	}
+
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if format == "json" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+
+	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "writes/s")
+	for _, res := range results {
+		t.AddRowf(res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.GroupCommits,
+			res.Amortization, res.BatchMax, res.Throughput)
+	}
+	fmt.Println(t.String())
+	for _, res := range results {
+		fmt.Printf("## metrics (%d shards)\n", res.JSON().Shards)
+		if _, err := res.Metrics.WriteTo(os.Stdout); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
 }

@@ -8,6 +8,14 @@
 //	paxserve -pool ./kv.pool                 # create or recover, then serve
 //	paxserve -pool ./kv.pool -addr :7421
 //	paxserve -pool ./kv.pool -overwrite      # reformat an existing pool
+//	paxserve -pool ./kv.pool -shards 4       # partition the keyspace 4 ways
+//
+// With -shards N > 1 the keyspace is hash-partitioned across N pool files
+// (kv.pool.shard-0 … kv.pool.shard-N-1), each with its own writer loop,
+// undo log, and device, so N group commits run in parallel; startup opens
+// and recovers all shards concurrently. On restart the shard count is
+// detected from the files present (-shards 0, the default), and an explicit
+// -shards that disagrees with the files is refused unless -overwrite.
 //
 // The protocol is internal/wire's length-prefixed binary framing; the Go
 // client is pax/internal/wire.Client. SIGINT/SIGTERM shut down gracefully:
@@ -33,13 +41,15 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7421", "TCP listen address")
 		poolPath  = flag.String("pool", "", "pool file path (required; created if missing)")
-		dataSize  = flag.Uint64("data", 64<<20, "vPM data region size in bytes (pool creation only)")
-		logSize   = flag.Uint64("log", 8<<20, "undo log region size in bytes (pool creation only)")
+		shards    = flag.Int("shards", 0, "keyspace shards, each its own pool file and commit pipeline (0 = detect from existing files, else 1)")
+		dataSize  = flag.Uint64("data", 64<<20, "vPM data region size in bytes, per shard (pool creation only)")
+		logSize   = flag.Uint64("log", 8<<20, "undo log region size in bytes, per shard (pool creation only)")
 		hbmSize   = flag.Int("hbm", 16<<20, "device HBM cache size in bytes (0 disables)")
 		profile   = flag.String("profile", "cxl", "device profile: cxl | enzian")
 		overwrite = flag.Bool("overwrite", false, "reformat the pool file even if it already exists")
 		maxBatch  = flag.Int("max-batch", 128, "max writes acked per group commit")
 		maxDelay  = flag.Duration("max-delay", time.Millisecond, "max wait to fill a commit batch")
+		commitLat = flag.Duration("commit-latency", 0, "modeled media latency per group commit (0 = simulator speed)")
 		queue     = flag.Int("queue", 1024, "request queue depth (backpressure bound)")
 		reqTmo    = flag.Duration("req-timeout", 5*time.Second, "per-request enqueue timeout")
 		async     = flag.Bool("async", false, "commit batches with the pipelined persist (§6)")
@@ -68,32 +78,48 @@ func main() {
 		Profile:   pax.DeviceProfile(*profile),
 		Overwrite: *overwrite,
 	}
-	var pool *pax.Pool
-	var err error
-	if *overwrite {
-		pool, err = pax.CreatePool(*poolPath, opts)
-	} else {
-		pool, err = pax.MapPool(*poolPath, opts)
-	}
+
+	// Resolve the shard count against what is on disk: a restart must reopen
+	// the layout the previous run left (the key→shard mapping is a function
+	// of the shard count, so serving old files with a new count would
+	// misroute every key).
+	n := *shards
+	discovered, err := server.DiscoverShards(*poolPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paxserve: opening pool: %v\n", err)
+		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
 		os.Exit(1)
 	}
-	if rec := pool.Recovery(); rec.LinesRolledBack > 0 {
-		fmt.Printf("paxserve: recovered pool to epoch %d (%d lines rolled back)\n",
-			rec.DurableEpoch, rec.LinesRolledBack)
+	switch {
+	case n < 0:
+		fmt.Fprintln(os.Stderr, "paxserve: -shards must be >= 0")
+		os.Exit(2)
+	case n == 0 && discovered > 0:
+		n = discovered
+	case n == 0:
+		n = 1
+	case discovered > 0 && discovered != n && !*overwrite:
+		fmt.Fprintf(os.Stderr, "paxserve: %q holds %d shard(s) but -shards %d was requested; reopen with -shards %d (or 0) or reformat with -overwrite\n",
+			*poolPath, discovered, n, discovered)
+		os.Exit(2)
 	}
 
-	eng, err := server.New(pool, *slot, server.Config{
+	eng, err := server.OpenSharded(*poolPath, n, opts, *slot, server.Config{
 		MaxBatch:       *maxBatch,
 		MaxDelay:       *maxDelay,
 		QueueDepth:     *queue,
 		EnqueueTimeout: *reqTmo,
 		Async:          *async,
+		CommitLatency:  *commitLat,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
 		os.Exit(1)
+	}
+	for k, rec := range eng.Recoveries() {
+		if rec.LinesRolledBack > 0 {
+			fmt.Printf("paxserve: recovered shard %d to epoch %d (%d lines rolled back)\n",
+				k, rec.DurableEpoch, rec.LinesRolledBack)
+		}
 	}
 
 	lis, err := net.Listen("tcp", *addr)
@@ -108,8 +134,8 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(lis) }()
-	fmt.Printf("paxserve: serving %s on %s (durable epoch %d, max batch %d, max delay %v)\n",
-		*poolPath, lis.Addr(), pool.DurableEpoch(), *maxBatch, *maxDelay)
+	fmt.Printf("paxserve: serving %s on %s (%d shard(s), durable epoch %d, max batch %d, max delay %v)\n",
+		*poolPath, lis.Addr(), eng.NumShards(), eng.DurableEpoch(), *maxBatch, *maxDelay)
 
 	select {
 	case sig := <-sigs:
@@ -121,11 +147,8 @@ func main() {
 	}
 	srv.Shutdown()
 	if err := eng.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "paxserve: engine close: %v\n", err)
-	}
-	if err := pool.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "paxserve: pool close: %v\n", err)
+		fmt.Fprintf(os.Stderr, "paxserve: close: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("paxserve: pool sealed at durable epoch %d\n", pool.DurableEpoch())
+	fmt.Printf("paxserve: %d shard(s) sealed at durable epoch %d\n", eng.NumShards(), eng.DurableEpoch())
 }

@@ -12,9 +12,10 @@ import (
 
 // This file is the serving-layer load generator: instead of driving a
 // fixture single-threaded like the paper experiments, it stands up the
-// paxserve group-commit engine over an in-memory pool and hammers it with
+// paxserve group-commit engine over in-memory pools and hammers it with
 // concurrent client goroutines, measuring how many individually-acked
-// durable writes each snapshot amortizes.
+// durable writes each snapshot amortizes — and, with Shards > 1, how
+// partition-parallel group commit scales throughput.
 
 // LoadSpec parameterizes one loadgen run.
 type LoadSpec struct {
@@ -27,6 +28,17 @@ type LoadSpec struct {
 	MaxDelay  time.Duration
 	// Async uses PersistAsync (§6 pipelined) for the group commits.
 	Async bool
+	// Shards partitions the keyspace across N independent pools, each with
+	// its own writer loop and device, so N group commits run in parallel
+	// (default 1 — the single-writer engine).
+	Shards int
+	// CommitLatency is the modeled per-group-commit media latency (see
+	// server.Config.CommitLatency). With it set, a single engine is bound by
+	// one commit in flight at a time and the shard sweep measures how
+	// partition-parallel commit overlaps that latency; zero commits at
+	// simulator speed, which benchmarks the host CPU rather than the
+	// serving design.
+	CommitLatency time.Duration
 }
 
 // LoadResult summarizes a run.
@@ -40,12 +52,53 @@ type LoadResult struct {
 	Amortization float64
 	Wall         time.Duration
 	Throughput   float64 // acked writes per wall second
-	// Registry is the engine+pool metrics registry, sampled safely (the
-	// engine is closed by the time RunLoad returns).
-	Registry *stats.Registry
+	// Metrics is the merged engine+pool metrics summary (per-shard gauges
+	// carry a {shard="K"} suffix; plain names are cross-shard sums),
+	// sampled safely after the engines close.
+	Metrics stats.Summary
 }
 
-// RunLoad executes one loadgen run on a fresh in-memory pool.
+// LoadJSON is the machine-readable form of a LoadResult — what
+// `paxbench -loadgen -format json` emits so the perf trajectory is tracked
+// across PRs.
+type LoadJSON struct {
+	Shards            int     `json:"shards"`
+	Clients           int     `json:"clients"`
+	OpsPerClient      int     `json:"ops_per_client"`
+	MaxBatch          int     `json:"max_batch"`
+	CommitLatencyMS   float64 `json:"commit_latency_ms"`
+	AckedWrites       uint64  `json:"acked_writes"`
+	Gets              uint64  `json:"gets"`
+	Snapshots         uint64  `json:"snapshots"`
+	BatchMax          uint64  `json:"batch_max"`
+	Amortization      float64 `json:"amortization"`
+	WallMillis        float64 `json:"wall_ms"`
+	AckedWritesPerSec float64 `json:"acked_writes_per_sec"`
+}
+
+// JSON converts the result to its machine-readable record.
+func (r LoadResult) JSON() LoadJSON {
+	shards := r.Spec.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return LoadJSON{
+		Shards:            shards,
+		Clients:           r.Spec.Clients,
+		OpsPerClient:      r.Spec.OpsPerClient,
+		MaxBatch:          r.Spec.MaxBatch,
+		CommitLatencyMS:   float64(r.Spec.CommitLatency.Microseconds()) / 1e3,
+		AckedWrites:       r.AckedWrites,
+		Gets:              r.Gets,
+		Snapshots:         r.GroupCommits,
+		BatchMax:          r.BatchMax,
+		Amortization:      r.Amortization,
+		WallMillis:        float64(r.Wall.Microseconds()) / 1e3,
+		AckedWritesPerSec: r.Throughput,
+	}
+}
+
+// RunLoad executes one loadgen run on fresh in-memory pools (one per shard).
 func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.Clients <= 0 || spec.OpsPerClient <= 0 {
 		return LoadResult{}, fmt.Errorf("benchkit: loadgen needs clients and ops, got %+v", spec)
@@ -53,16 +106,18 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.ValueBytes <= 0 {
 		spec.ValueBytes = 64
 	}
-	pool, err := pax.CreatePool("", pax.Options{DataSize: 64 << 20, LogSize: 16 << 20, HBMSize: 16 << 20})
-	if err != nil {
-		return LoadResult{}, err
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = 1
 	}
-	defer pool.Close()
-	eng, err := server.New(pool, 0, server.Config{
-		MaxBatch: spec.MaxBatch,
-		MaxDelay: spec.MaxDelay,
-		Async:    spec.Async,
-	})
+	eng, err := server.OpenSharded("", shards,
+		pax.Options{DataSize: 32 << 20, LogSize: 16 << 20, HBMSize: 16 << 20},
+		0, server.Config{
+			MaxBatch:      spec.MaxBatch,
+			MaxDelay:      spec.MaxDelay,
+			Async:         spec.Async,
+			CommitLatency: spec.CommitLatency,
+		})
 	if err != nil {
 		return LoadResult{}, err
 	}
@@ -104,14 +159,19 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	default:
 	}
 
+	agg := eng.AggregateStats()
+	metrics, err := eng.Metrics()
+	if err != nil {
+		return LoadResult{}, err
+	}
 	res := LoadResult{
 		Spec:         spec,
-		AckedWrites:  eng.Stats().AckedWrites.Load(),
-		Gets:         eng.Stats().Gets.Load(),
-		GroupCommits: eng.Stats().GroupCommits.Load(),
-		BatchMax:     eng.Stats().BatchMax.Load(),
+		AckedWrites:  agg.AckedWrites,
+		Gets:         agg.Gets,
+		GroupCommits: agg.GroupCommits,
+		BatchMax:     agg.BatchMax,
 		Wall:         wall,
-		Registry:     eng.Registry(),
+		Metrics:      metrics,
 	}
 	if res.GroupCommits > 0 {
 		res.Amortization = float64(res.AckedWrites) / float64(res.GroupCommits)
@@ -122,14 +182,15 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	return res, nil
 }
 
-// Loadgen is the experiment wrapper: sweep client counts and report how
-// group-commit amortization and throughput scale with concurrency.
+// Loadgen is the experiment wrapper: sweep client counts (amortization vs
+// concurrency on one shard) and shard counts (throughput vs partition-
+// parallel commit), reporting how group commit and sharding scale.
 func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 	ops := sz.MeasureOps / 30
 	if ops < 20 {
 		ops = 20
 	}
-	table := stats.NewTable("loadgen: group-commit serving vs client count",
+	clientsTable := stats.NewTable("loadgen: group-commit serving vs client count",
 		"clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "wall ms", "writes/s")
 	for _, clients := range []int{1, 4, 16, 64, 128} {
 		res, err := RunLoad(LoadSpec{
@@ -143,9 +204,41 @@ func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 		if err != nil {
 			panic(fmt.Sprintf("benchkit: loadgen with %d clients: %v", clients, err))
 		}
-		table.AddRowf(clients, res.AckedWrites, res.GroupCommits,
+		clientsTable.AddRowf(clients, res.AckedWrites, res.GroupCommits,
 			res.Amortization, res.BatchMax,
 			float64(res.Wall.Milliseconds()), res.Throughput)
 	}
-	return []*stats.Table{table}
+
+	// The shard sweep runs commit-latency-bound (MaxBatch < clients, 2ms
+	// modeled media commit): a single pool then has exactly one commit in
+	// flight at a time, and shards overlap theirs — the scaling the
+	// tentpole exists to buy.
+	shardsTable := stats.NewTable("loadgen: sharded serving vs shard count (256 clients, 2ms media commit)",
+		"shards", "acked writes", "snapshots", "writes/snapshot", "wall ms", "writes/s", "speedup")
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		res, err := RunLoad(LoadSpec{
+			Clients:       256,
+			OpsPerClient:  ops,
+			ValueBytes:    64,
+			GetEveryN:     4,
+			MaxBatch:      16,
+			MaxDelay:      2 * time.Millisecond,
+			Shards:        shards,
+			CommitLatency: 2 * time.Millisecond,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("benchkit: loadgen with %d shards: %v", shards, err))
+		}
+		if shards == 1 {
+			base = res.Throughput
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = res.Throughput / base
+		}
+		shardsTable.AddRowf(shards, res.AckedWrites, res.GroupCommits,
+			res.Amortization, float64(res.Wall.Milliseconds()), res.Throughput, speedup)
+	}
+	return []*stats.Table{clientsTable, shardsTable}
 }

@@ -49,6 +49,15 @@ type Config struct {
 	// commit with the next batch. Acks then mean "snapshot taken", not
 	// "snapshot fully on media".
 	Async bool
+	// CommitLatency models the real-time cost of making an epoch durable on
+	// the backing medium (an msync-class sync, an Optane flush): the writer
+	// blocks this long per group commit, after Persist and before acking the
+	// batch. The in-memory simulator otherwise commits at host-CPU speed,
+	// which hides the serialization the engine actually has on real media —
+	// one commit in flight per pool. Sharded engines overlap this latency
+	// across shards, which is exactly what the loadgen shard sweep measures.
+	// Zero (the default) commits at simulator speed.
+	CommitLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +84,7 @@ const (
 	opDelete
 	opPersist
 	opStats
+	opSnapshot
 )
 
 type result struct {
@@ -82,6 +92,7 @@ type result struct {
 	found bool
 	epoch uint64
 	text  string
+	snap  stats.Summary
 	err   error
 }
 
@@ -167,6 +178,15 @@ func (e *Engine) begin(req *request) error {
 		e.mu.RUnlock()
 		return ErrClosed
 	}
+	// Fast path: the queue usually has room, and a timer allocation per
+	// request is measurable on the PUT/GET hot loop. Only the contended
+	// path pays for one.
+	select {
+	case e.reqs <- req:
+		e.mu.RUnlock()
+		return nil
+	default:
+	}
 	timer := time.NewTimer(e.cfg.EnqueueTimeout)
 	defer timer.Stop()
 	select {
@@ -221,6 +241,14 @@ func (e *Engine) Persist() (uint64, error) {
 func (e *Engine) StatsText() (string, error) {
 	res := e.submit(&request{op: opStats, done: make(chan result, 1)})
 	return res.text, res.err
+}
+
+// Snapshot samples the metrics registry on the writer loop and returns the
+// raw summary — the structured form of StatsText, for callers (the sharded
+// router) that merge several engines' metrics before rendering.
+func (e *Engine) Snapshot() (stats.Summary, error) {
+	res := e.submit(&request{op: opSnapshot, done: make(chan result, 1)})
+	return res.snap, res.err
 }
 
 // markClosed flips the closed flag once; reports whether this call did it.
@@ -297,6 +325,9 @@ func (e *Engine) apply(req *request) (waiter *request) {
 	case opStats:
 		req.finish(result{text: e.reg.Text()})
 		return nil
+	case opSnapshot:
+		req.finish(result{snap: e.reg.Snapshot()})
+		return nil
 	}
 	req.finish(result{err: fmt.Errorf("server: unknown op %d", req.op)})
 	return nil
@@ -313,11 +344,13 @@ func (e *Engine) commit(waiters []*request) {
 	} else {
 		st = e.pool.Persist()
 	}
-	e.stats.GroupCommits.Inc()
-	if n := uint64(len(waiters)); n > e.stats.BatchMax.Load() {
-		e.stats.BatchMax.Reset()
-		e.stats.BatchMax.Add(n)
+	if e.cfg.CommitLatency > 0 {
+		// The medium is busy committing; the acks must wait for it. Other
+		// shards' writer loops keep running — this sleep is per pool.
+		time.Sleep(e.cfg.CommitLatency)
 	}
+	e.stats.GroupCommits.Inc()
+	e.stats.BatchMax.StoreMax(uint64(len(waiters)))
 	for _, w := range waiters {
 		if w.op != opPersist {
 			e.stats.AckedWrites.Inc()

@@ -11,14 +11,21 @@ import (
 	"pax/internal/wire"
 )
 
+// Backend is what the TCP front end serves: the single-pool Engine or the
+// ShardedEngine router. begin enqueues a request without waiting; on nil
+// the backend owns the request and delivers exactly one result on req.done.
+type Backend interface {
+	begin(req *request) error
+}
+
 // Server is the TCP front end: it speaks the wire protocol and forwards
-// requests to an Engine. Each connection gets a reader goroutine that
-// enqueues requests on the engine in wire order and a writer goroutine that
-// sends the responses back in that same order — so pipelined requests are
-// in flight concurrently and even a single connection's writes land in
+// requests to a Backend. Each connection gets a reader goroutine that
+// enqueues requests on the backend in wire order and a writer goroutine
+// that sends the responses back in that same order — so pipelined requests
+// are in flight concurrently and even a single connection's writes land in
 // shared group commits.
 type Server struct {
-	eng *Engine
+	backend Backend
 	// WriteTimeout bounds each response write (default 30s).
 	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level errors (default: drop them;
@@ -32,9 +39,9 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps an engine.
-func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, WriteTimeout: 30 * time.Second, conns: make(map[net.Conn]struct{})}
+// NewServer wraps a backend (an Engine or a ShardedEngine).
+func NewServer(b Backend) *Server {
+	return &Server{backend: b, WriteTimeout: 30 * time.Second, conns: make(map[net.Conn]struct{})}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -176,7 +183,7 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		return func() wire.Response { return resp }
 	}
 	ereq.done = make(chan result, 1)
-	if err := s.eng.begin(ereq); err != nil {
+	if err := s.backend.begin(ereq); err != nil {
 		resp := errResponse(err)
 		return func() wire.Response { return resp }
 	}

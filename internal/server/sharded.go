@@ -1,0 +1,427 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pax"
+	"pax/internal/stats"
+)
+
+// This file is the sharded serving layer: a router that partitions the
+// keyspace across N independent (pool, engine) shards so N group commits
+// proceed in parallel. Each shard is a separate pool file with its own
+// writer goroutine, undo log, and simulated device — the paper's §6
+// multi-device scaling, where every accelerator owns a vPM region and
+// epochs commit independently. The §3.5 single-mutator rule holds per pool
+// by construction: a key deterministically owns one shard, so per-key
+// operations stay totally ordered (and read-your-writes) even though
+// different keys commit concurrently. Durability ordering is per key, not
+// cross-shard: two acked writes to different shards may land in either
+// order after a crash, but every individually acked write is durable.
+
+// shard pairs one pool with the engine that is its only legal mutator.
+type shard struct {
+	pool *pax.Pool
+	eng  *Engine
+}
+
+// ShardedEngine routes requests across N single-writer engines. All methods
+// are safe for concurrent use. It implements the same Backend contract as
+// Engine, so the TCP server works over either.
+type ShardedEngine struct {
+	shards []shard
+
+	closeOnce sync.Once
+	closeErr  error
+
+	mu    sync.Mutex
+	final stats.Summary // metrics frozen at teardown; guarded by mu
+}
+
+// ShardPath returns shard k's pool file path. A single-shard engine uses
+// path itself — so 1-shard serving stays file-compatible with the unsharded
+// daemon — and an in-memory engine (path "") has no files.
+func ShardPath(path string, shards, k int) string {
+	if path == "" || shards == 1 {
+		return path
+	}
+	return fmt.Sprintf("%s.shard-%d", path, k)
+}
+
+// DiscoverShards inspects the files at path and reports how many shards a
+// previous run left behind: 1 for a bare pool file, N for a contiguous
+// <path>.shard-0..N-1 set, 0 for nothing. A gap in the shard sequence or a
+// bare file alongside shard files is corruption worth refusing to guess at.
+func DiscoverShards(path string) (int, error) {
+	if path == "" {
+		return 0, nil
+	}
+	bare := false
+	if _, err := os.Stat(path); err == nil {
+		bare = true
+	}
+	matches, err := filepath.Glob(path + ".shard-*")
+	if err != nil {
+		return 0, err
+	}
+	if bare && len(matches) > 0 {
+		return 0, fmt.Errorf("server: both %q and %d shard files exist; remove one layout", path, len(matches))
+	}
+	if bare {
+		return 1, nil
+	}
+	if len(matches) == 0 {
+		return 0, nil
+	}
+	seen := make(map[int]bool, len(matches))
+	for _, m := range matches {
+		k, err := strconv.Atoi(strings.TrimPrefix(m, path+".shard-"))
+		if err != nil {
+			return 0, fmt.Errorf("server: unrecognized shard file %q", m)
+		}
+		seen[k] = true
+	}
+	for k := 0; k < len(matches); k++ {
+		if !seen[k] {
+			return 0, fmt.Errorf("server: shard files are not contiguous: missing %s", ShardPath(path, len(matches)+1, k))
+		}
+	}
+	return len(matches), nil
+}
+
+// OpenSharded opens (creating or recovering as needed) shards pool files
+// rooted at path and starts an engine per shard. Opening and recovery run
+// concurrently across shards — recovery cost is paid once per shard, in
+// parallel, not summed — and the first error wins: on any failure every
+// already-opened shard is closed and the error is returned. opts sizes each
+// shard individually (DataSize is per shard, not divided). With
+// opts.Overwrite set, any existing files of either layout are removed first
+// so a reformat never leaves stale higher-numbered shards behind.
+func OpenSharded(path string, shards int, opts pax.Options, slot int, cfg Config) (*ShardedEngine, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("server: shard count %d must be positive", shards)
+	}
+	if opts.Overwrite && path != "" {
+		if err := removeShardFiles(path); err != nil {
+			return nil, err
+		}
+	}
+	s := &ShardedEngine{shards: make([]shard, shards)}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sp := ShardPath(path, shards, k)
+			var pool *pax.Pool
+			var err error
+			if opts.Overwrite {
+				pool, err = pax.CreatePool(sp, opts)
+			} else {
+				pool, err = pax.MapPool(sp, opts)
+			}
+			if err != nil {
+				fail(fmt.Errorf("server: shard %d: %w", k, err))
+				return
+			}
+			eng, err := New(pool, slot, cfg)
+			if err != nil {
+				pool.Close()
+				fail(fmt.Errorf("server: shard %d: %w", k, err))
+				return
+			}
+			s.shards[k] = shard{pool: pool, eng: eng}
+		}(k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, sh := range s.shards {
+			if sh.eng != nil {
+				sh.eng.Close()
+			}
+			if sh.pool != nil {
+				sh.pool.Close()
+			}
+		}
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// removeShardFiles clears both layouts (bare file and shard files) so an
+// Overwrite reformat never leaves a stale layout for DiscoverShards to trip
+// over.
+func removeShardFiles(path string) error {
+	matches, err := filepath.Glob(path + ".shard-*")
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		matches = append(matches, path)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return fmt.Errorf("server: reformatting: %w", err)
+		}
+	}
+	return nil
+}
+
+// NumShards reports the shard count.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// ShardFor reports which shard owns key. The mapping is a pure function of
+// the key bytes and the shard count — FNV-1a mod N — so it is stable across
+// restarts: reopening the same shard files routes every key back to the
+// pool that holds it.
+func (s *ShardedEngine) ShardFor(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// begin implements Backend: per-key operations route to the owning shard's
+// queue (FIFO per shard, so a connection's same-key operations keep their
+// wire order); persist and stats fan out across every shard and deliver one
+// merged result.
+func (s *ShardedEngine) begin(req *request) error {
+	switch req.op {
+	case opGet, opPut, opDelete:
+		return s.shards[s.ShardFor(req.key)].eng.begin(req)
+	case opPersist:
+		go func() {
+			epoch, err := s.Persist()
+			req.finish(result{epoch: epoch, err: err})
+		}()
+		return nil
+	case opStats:
+		go func() {
+			text, err := s.StatsText()
+			req.finish(result{text: text, err: err})
+		}()
+		return nil
+	}
+	return fmt.Errorf("server: unknown op %d", req.op)
+}
+
+// Get routes to the key's shard (read-your-writes, like Engine.Get).
+func (s *ShardedEngine) Get(key []byte) ([]byte, bool, error) {
+	return s.shards[s.ShardFor(key)].eng.Get(key)
+}
+
+// Put routes to the key's shard and blocks until that shard's group commit
+// makes the write durable.
+func (s *ShardedEngine) Put(key, value []byte) (uint64, error) {
+	return s.shards[s.ShardFor(key)].eng.Put(key, value)
+}
+
+// Delete routes to the key's shard, blocking like Put.
+func (s *ShardedEngine) Delete(key []byte) (bool, uint64, error) {
+	return s.shards[s.ShardFor(key)].eng.Delete(key)
+}
+
+// Persist forces a group commit on every shard in parallel and joins. The
+// returned epoch is the maximum shard epoch — shards number their epochs
+// independently, so it is a watermark, not a global ordering point.
+func (s *ShardedEngine) Persist() (uint64, error) {
+	epochs := make([]uint64, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for k := range s.shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			epochs[k], errs[k] = s.shards[k].eng.Persist()
+		}(k)
+	}
+	wg.Wait()
+	var max uint64
+	for k := range s.shards {
+		if errs[k] != nil {
+			return 0, fmt.Errorf("server: shard %d: %w", k, errs[k])
+		}
+		if epochs[k] > max {
+			max = epochs[k]
+		}
+	}
+	return max, nil
+}
+
+// Metrics samples every shard's registry on its writer loop (in parallel)
+// and merges them: each metric appears once per shard with a `{shard="K"}`
+// suffix and once as the plain-named sum across shards, plus a
+// paxserve_shards count. After Close or Crash it returns the final snapshot
+// frozen at teardown.
+func (s *ShardedEngine) Metrics() (stats.Summary, error) {
+	s.mu.Lock()
+	final := s.final
+	s.mu.Unlock()
+	if final != nil {
+		return final, nil
+	}
+	snaps := make([]stats.Summary, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for k := range s.shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			snaps[k], errs[k] = s.shards[k].eng.Snapshot()
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", k, err)
+		}
+	}
+	return mergeSummaries(snaps), nil
+}
+
+// StatsText renders Metrics as `name value` lines — the sharded STATS reply.
+func (s *ShardedEngine) StatsText() (string, error) {
+	m, err := s.Metrics()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func mergeSummaries(snaps []stats.Summary) stats.Summary {
+	merged := make(stats.Summary)
+	for k, snap := range snaps {
+		label := fmt.Sprintf("{shard=%q}", strconv.Itoa(k))
+		for name, v := range snap {
+			merged[name+label] = v
+			merged[name] += v
+		}
+	}
+	merged["paxserve_shards"] = float64(len(snaps))
+	return merged
+}
+
+// AggregateStats is the cross-shard rollup of the per-engine counters.
+type AggregateStats struct {
+	AckedWrites  uint64
+	Gets         uint64
+	GroupCommits uint64
+	BatchMax     uint64 // largest single-shard batch
+	Rejects      uint64
+}
+
+// AggregateStats sums the engine counters across shards (BatchMax is the
+// max). Counters are atomic, so this is safe at any time.
+func (s *ShardedEngine) AggregateStats() AggregateStats {
+	var a AggregateStats
+	for _, sh := range s.shards {
+		st := sh.eng.Stats()
+		a.AckedWrites += st.AckedWrites.Load()
+		a.Gets += st.Gets.Load()
+		a.GroupCommits += st.GroupCommits.Load()
+		a.Rejects += st.Rejects.Load()
+		if b := st.BatchMax.Load(); b > a.BatchMax {
+			a.BatchMax = b
+		}
+	}
+	return a
+}
+
+// Recoveries reports what opening each shard repaired, indexed by shard.
+func (s *ShardedEngine) Recoveries() []pax.RecoveryInfo {
+	recs := make([]pax.RecoveryInfo, len(s.shards))
+	for k, sh := range s.shards {
+		recs[k] = sh.pool.Recovery()
+	}
+	return recs
+}
+
+// DurableEpoch reports the highest committed epoch across shards.
+func (s *ShardedEngine) DurableEpoch() uint64 {
+	var max uint64
+	for _, sh := range s.shards {
+		if e := sh.pool.DurableEpoch(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Close drains and seals every shard in parallel (each engine commits its
+// remaining mutations plus the open epoch), freezes a final metrics
+// snapshot, and closes the backing pools. Unlike Engine.Close it owns the
+// pools, because it opened them.
+func (s *ShardedEngine) Close() error {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.Close()
+		}(sh.eng)
+	}
+	wg.Wait()
+	return s.teardown()
+}
+
+// Crash stops every shard's writer loop without committing — the multi-
+// device analogue of the machine dying — then closes the pools crash-like
+// (no final persist; unacked mutations roll back on reopen).
+func (s *ShardedEngine) Crash() error {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.Crash()
+		}(sh.eng)
+	}
+	wg.Wait()
+	return s.teardown()
+}
+
+// teardown runs once: freeze the merged metrics (the loops are gone, so
+// sampling the registries directly cannot race a mutator) and close pools.
+func (s *ShardedEngine) teardown() error {
+	s.closeOnce.Do(func() {
+		snaps := make([]stats.Summary, len(s.shards))
+		for k, sh := range s.shards {
+			snaps[k] = sh.eng.reg.Snapshot()
+		}
+		s.mu.Lock()
+		s.final = mergeSummaries(snaps)
+		s.mu.Unlock()
+		for k, sh := range s.shards {
+			if err := sh.pool.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = fmt.Errorf("server: shard %d: %w", k, err)
+			}
+		}
+	})
+	return s.closeErr
+}

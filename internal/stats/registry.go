@@ -86,7 +86,14 @@ func (r *Registry) Snapshot() Summary {
 // sorted by name, one metric per line. Integral values print without a
 // decimal point. It implements io.WriterTo.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
-	s := r.Snapshot()
+	return r.Snapshot().WriteTo(w)
+}
+
+// WriteTo renders the summary as Prometheus-style `name value` lines, sorted
+// by name — the same text format Registry.WriteTo emits, available for
+// summaries assembled away from a live registry (e.g. merged multi-shard
+// snapshots). It implements io.WriterTo.
+func (s Summary) WriteTo(w io.Writer) (int64, error) {
 	names := make([]string, 0, len(s))
 	for k := range s {
 		names = append(names, k)

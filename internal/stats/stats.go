@@ -27,6 +27,18 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// StoreMax raises the counter to n if n is larger, atomically — for
+// gauge-style high-water marks sampled concurrently with updates (a
+// Reset+Add pair would expose a transient 0 to readers).
+func (c *Counter) StoreMax(n uint64) {
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Ratio is a hit/miss style two-way counter.
 type Ratio struct {
 	Hits, Misses Counter

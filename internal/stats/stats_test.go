@@ -179,3 +179,29 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant\n%q", csv, want)
 	}
 }
+
+func TestCounterStoreMax(t *testing.T) {
+	var c Counter
+	c.StoreMax(5)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	c.StoreMax(3) // lower values never regress the high-water mark
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d after lower StoreMax, want 5", c.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.StoreMax(uint64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Load() != 7999 {
+		t.Fatalf("concurrent StoreMax = %d, want 7999", c.Load())
+	}
+}

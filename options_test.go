@@ -1,6 +1,7 @@
 package pax_test
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -116,5 +117,19 @@ func TestOpenPoolIgnoresGeometryOptions(t *testing.T) {
 	}
 	if v, ok := m2.Get([]byte("k")); !ok || string(v) != "v" {
 		t.Fatalf("reopened pool lost data: %q %v", v, ok)
+	}
+}
+
+// A reformat whose os.Remove fails must report it, not silently reopen the
+// old image: here "the pool" is a non-empty directory, which Remove refuses.
+func TestCreatePoolOverwriteRemoveFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "x.pool")
+	if err := os.MkdirAll(filepath.Join(dir, "junk"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Overwrite = true
+	if _, err := pax.CreatePool(dir, opts); err == nil || !strings.Contains(err.Error(), "reformatting") {
+		t.Fatalf("CreatePool on an unremovable path: err=%v, want a reformatting error", err)
 	}
 }

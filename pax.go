@@ -165,7 +165,11 @@ func CreatePool(path string, opts Options) (*Pool, error) {
 			if !opts.Overwrite {
 				return nil, fmt.Errorf("pax: pool %q already exists (set Options.Overwrite to reformat it)", path)
 			}
-			_ = os.Remove(path)
+			// A failed remove must not fall through to pmem.Open: that would
+			// silently reopen the old pool instead of reformatting it.
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("pax: reformatting pool: %w", err)
+			}
 		}
 		pm, err = pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
 		if err != nil {
