@@ -8,6 +8,8 @@
 //	paxbench -experiment all -scale quick # everything, small and fast
 //	paxbench -loadgen -clients 64 -ops 200 # serving-layer load generator
 //	paxbench -loadgen -shards 1,2,4,8 -format json -out BENCH_loadgen.json
+//	paxbench -loadgen -read-ratio 0.9      # GET-heavy mix on the read index
+//	paxbench -loadgen -read-ratio 0.9 -queued-reads # same mix, pre-index path
 //
 // Scales: "paper" uses a hash table far larger than the simulated LLC and
 // 100k measured operations per system; "quick" is a seconds-long smoke run.
@@ -18,7 +20,11 @@
 // epoch commit on the backing medium (an msync-class sync; the in-memory
 // simulator would otherwise commit at host-CPU speed), so a single pool has
 // one commit in flight at a time and the sweep measures how sharding
-// overlaps that latency. The default table output
+// overlaps that latency. -read-ratio mixes GETs into the workload (0.9 models
+// a read-heavy serving tier); GETs are served from the engine's volatile read
+// index unless -queued-reads routes them through the writer queue, which is
+// the pre-index behavior kept as the read-path A/B baseline. The default
+// table output
 // prints one row per shard count plus the merged metrics registry as
 // `name value` lines (the same text the STATS wire request returns);
 // -format json emits a machine-readable record array instead, and -out
@@ -52,12 +58,14 @@ func main() {
 		maxDelay   = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: max wait to fill a batch")
 		commitLat  = flag.Duration("commit-latency", 2*time.Millisecond, "loadgen: modeled media latency per group commit (0 = simulator speed)")
 		shards     = flag.String("shards", "1", "loadgen: comma-separated shard counts to sweep (e.g. 1,2,4,8)")
+		readRatio  = flag.Float64("read-ratio", 0, "loadgen: fraction of ops issued as GETs against previously written keys (0 = write-heavy with periodic read-backs)")
+		queued     = flag.Bool("queued-reads", false, "loadgen: serve GETs through the writer queue (pre-read-index behavior, the read-path A/B baseline)")
 		jsonOut    = flag.String("out", "", "loadgen: also write the JSON records to this file")
 	)
 	flag.Parse()
 
 	if *loadgen {
-		if err := runLoadgen(*shards, *clients, *ops, *maxBatch, *maxDelay, *commitLat, *format, *jsonOut); err != nil {
+		if err := runLoadgen(*shards, *clients, *ops, *maxBatch, *maxDelay, *commitLat, *readRatio, *queued, *format, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,7 +124,7 @@ func main() {
 
 // runLoadgen sweeps the requested shard counts and reports each run, as a
 // table plus metrics registry or as JSON records.
-func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLat time.Duration, format, jsonOut string) error {
+func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLat time.Duration, readRatio float64, queuedReads bool, format, jsonOut string) error {
 	var counts []int
 	for _, f := range strings.Split(shardList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -130,16 +138,21 @@ func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLa
 		results []benchkit.LoadResult
 	)
 	for _, n := range counts {
-		res, err := benchkit.RunLoad(benchkit.LoadSpec{
+		spec := benchkit.LoadSpec{
 			Clients:       clients,
 			OpsPerClient:  ops,
 			ValueBytes:    64,
-			GetEveryN:     4,
+			ReadRatio:     readRatio,
+			QueuedReads:   queuedReads,
 			MaxBatch:      maxBatch,
 			MaxDelay:      maxDelay,
 			Shards:        n,
 			CommitLatency: commitLat,
-		})
+		}
+		if readRatio == 0 {
+			spec.GetEveryN = 4
+		}
+		res, err := benchkit.RunLoad(spec)
 		if err != nil {
 			return fmt.Errorf("%d shards: %w", n, err)
 		}
@@ -162,10 +175,10 @@ func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLa
 		return err
 	}
 
-	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "snapshots", "writes/snapshot", "max batch", "writes/s")
+	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s")
 	for _, res := range results {
-		t.AddRowf(res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.GroupCommits,
-			res.Amortization, res.BatchMax, res.Throughput)
+		t.AddRowf(res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
+			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput)
 	}
 	fmt.Println(t.String())
 	for _, res := range results {

@@ -17,6 +17,12 @@
 // detected from the files present (-shards 0, the default), and an explicit
 // -shards that disagrees with the files is refused unless -overwrite.
 //
+// GETs do not enter the writer queue: each shard keeps a volatile read
+// index (rebuilt from the recovered pool at startup) that the writer
+// updates at apply time, so reads are answered immediately even while a
+// group commit is in flight. -queued-reads restores the pre-index behavior
+// — every GET serialized through the writer loop — for A/B measurement.
+//
 // The protocol is internal/wire's length-prefixed binary framing; the Go
 // client is pax/internal/wire.Client. SIGINT/SIGTERM shut down gracefully:
 // stop accepting, drain in-flight requests, and persist the open epoch, so a
@@ -53,6 +59,7 @@ func main() {
 		queue     = flag.Int("queue", 1024, "request queue depth (backpressure bound)")
 		reqTmo    = flag.Duration("req-timeout", 5*time.Second, "per-request enqueue timeout")
 		async     = flag.Bool("async", false, "commit batches with the pipelined persist (§6)")
+		queued    = flag.Bool("queued-reads", false, "serve GETs through the writer queue instead of the read index (pre-index behavior, for A/B measurement)")
 		slot      = flag.Int("root", 0, "pool root slot holding the served map")
 	)
 	flag.Parse()
@@ -110,6 +117,7 @@ func main() {
 		EnqueueTimeout: *reqTmo,
 		Async:          *async,
 		CommitLatency:  *commitLat,
+		QueuedReads:    *queued,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)

@@ -23,9 +23,21 @@ type LoadSpec struct {
 	OpsPerClient int
 	ValueBytes   int
 	// GetEveryN issues a read after every N writes per client (0 disables).
+	// Those reads ride on top of OpsPerClient writes; for a workload whose
+	// op *mix* is controlled, use ReadRatio instead.
 	GetEveryN int
-	MaxBatch  int
-	MaxDelay  time.Duration
+	// ReadRatio is the fraction of each client's OpsPerClient ops issued as
+	// GETs against that client's previously written keys (0 disables and
+	// GetEveryN applies; 0.9 models a read-heavy serving tier). The
+	// interleave is deterministic — an error-diffusion pattern, not a PRNG —
+	// so runs are reproducible.
+	ReadRatio float64
+	// QueuedReads serves GETs through the writer queue (the engine's
+	// pre-read-index behavior) instead of the volatile read index — the
+	// "before" side of the read-path A/B.
+	QueuedReads bool
+	MaxBatch    int
+	MaxDelay    time.Duration
 	// Async uses PersistAsync (§6 pipelined) for the group commits.
 	Async bool
 	// Shards partitions the keyspace across N independent pools, each with
@@ -52,6 +64,9 @@ type LoadResult struct {
 	Amortization float64
 	Wall         time.Duration
 	Throughput   float64 // acked writes per wall second
+	// OpsThroughput is total acked ops (writes + reads) per wall second —
+	// the figure of merit for mixed read/write sweeps.
+	OpsThroughput float64
 	// Metrics is the merged engine+pool metrics summary (per-shard gauges
 	// carry a {shard="K"} suffix; plain names are cross-shard sums),
 	// sampled safely after the engines close.
@@ -67,6 +82,8 @@ type LoadJSON struct {
 	OpsPerClient      int     `json:"ops_per_client"`
 	MaxBatch          int     `json:"max_batch"`
 	CommitLatencyMS   float64 `json:"commit_latency_ms"`
+	ReadRatio         float64 `json:"read_ratio"`
+	ReadPath          string  `json:"read_path"` // "index" | "queued"
 	AckedWrites       uint64  `json:"acked_writes"`
 	Gets              uint64  `json:"gets"`
 	Snapshots         uint64  `json:"snapshots"`
@@ -74,6 +91,7 @@ type LoadJSON struct {
 	Amortization      float64 `json:"amortization"`
 	WallMillis        float64 `json:"wall_ms"`
 	AckedWritesPerSec float64 `json:"acked_writes_per_sec"`
+	AckedOpsPerSec    float64 `json:"acked_ops_per_sec"`
 }
 
 // JSON converts the result to its machine-readable record.
@@ -82,12 +100,18 @@ func (r LoadResult) JSON() LoadJSON {
 	if shards <= 0 {
 		shards = 1
 	}
+	path := "index"
+	if r.Spec.QueuedReads {
+		path = "queued"
+	}
 	return LoadJSON{
 		Shards:            shards,
 		Clients:           r.Spec.Clients,
 		OpsPerClient:      r.Spec.OpsPerClient,
 		MaxBatch:          r.Spec.MaxBatch,
 		CommitLatencyMS:   float64(r.Spec.CommitLatency.Microseconds()) / 1e3,
+		ReadRatio:         r.Spec.ReadRatio,
+		ReadPath:          path,
 		AckedWrites:       r.AckedWrites,
 		Gets:              r.Gets,
 		Snapshots:         r.GroupCommits,
@@ -95,6 +119,7 @@ func (r LoadResult) JSON() LoadJSON {
 		Amortization:      r.Amortization,
 		WallMillis:        float64(r.Wall.Microseconds()) / 1e3,
 		AckedWritesPerSec: r.Throughput,
+		AckedOpsPerSec:    r.OpsThroughput,
 	}
 }
 
@@ -102,6 +127,9 @@ func (r LoadResult) JSON() LoadJSON {
 func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.Clients <= 0 || spec.OpsPerClient <= 0 {
 		return LoadResult{}, fmt.Errorf("benchkit: loadgen needs clients and ops, got %+v", spec)
+	}
+	if spec.ReadRatio < 0 || spec.ReadRatio >= 1 {
+		return LoadResult{}, fmt.Errorf("benchkit: read ratio %v must be in [0, 1)", spec.ReadRatio)
 	}
 	if spec.ValueBytes <= 0 {
 		spec.ValueBytes = 64
@@ -117,6 +145,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 			MaxDelay:      spec.MaxDelay,
 			Async:         spec.Async,
 			CommitLatency: spec.CommitLatency,
+			QueuedReads:   spec.QueuedReads,
 		})
 	if err != nil {
 		return LoadResult{}, err
@@ -133,13 +162,32 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			var (
+				acc   float64                            // error-diffusion accumulator for the read/write mix
+				wrote int                                // keys this client has written so far
+				rng   = uint32(2654435761 * uint64(c+1)) // per-client LCG state
+			)
 			for op := 0; op < spec.OpsPerClient; op++ {
-				key := []byte(fmt.Sprintf("c%04d-%06d", c, op))
+				acc += spec.ReadRatio
+				if acc >= 1 && wrote > 0 {
+					acc--
+					// Read a previously written key (LCG pick, deterministic
+					// per client): hits the read path with realistic reuse.
+					rng = rng*1664525 + 1013904223
+					key := []byte(fmt.Sprintf("c%04d-%06d", c, int(rng)%wrote))
+					if _, ok, err := eng.Get(key); err != nil || !ok {
+						errs <- fmt.Errorf("client %d read %s: ok=%v err=%v", c, key, ok, err)
+						return
+					}
+					continue
+				}
+				key := []byte(fmt.Sprintf("c%04d-%06d", c, wrote))
+				wrote++
 				if _, err := eng.Put(key, value); err != nil {
 					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 					return
 				}
-				if spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
+				if spec.ReadRatio == 0 && spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
 					if _, ok, err := eng.Get(key); err != nil || !ok {
 						errs <- fmt.Errorf("client %d read-back %s: ok=%v err=%v", c, key, ok, err)
 						return
@@ -178,6 +226,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 	if wall > 0 {
 		res.Throughput = float64(res.AckedWrites) / wall.Seconds()
+		res.OpsThroughput = float64(res.AckedWrites+res.Gets) / wall.Seconds()
 	}
 	return res, nil
 }
@@ -240,5 +289,44 @@ func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 		shardsTable.AddRowf(shards, res.AckedWrites, res.GroupCommits,
 			res.Amortization, float64(res.Wall.Milliseconds()), res.Throughput, speedup)
 	}
-	return []*stats.Table{clientsTable, shardsTable}
+
+	// The GET-heavy sweep is the read-path A/B: 95% GETs, commit-latency-
+	// bound writes. "queued" serializes every GET through the writer loop
+	// (the pre-read-index engine); "index" serves GETs from the volatile
+	// read index while commits are in flight. The mix matches the recorded
+	// BENCH_loadgen.json sweep; closed-loop clients bound the queued path at
+	// roughly one op per client per commit cycle, so the ratio grows with
+	// the read fraction.
+	readTable := stats.NewTable("loadgen: GET-heavy read path (read-ratio 0.95, 128 clients, 2ms media commit)",
+		"shards", "read path", "acked writes", "gets", "wall ms", "ops/s", "index speedup")
+	for _, shards := range []int{1, 4} {
+		var queuedOps float64
+		for _, queued := range []bool{true, false} {
+			res, err := RunLoad(LoadSpec{
+				Clients:       128,
+				OpsPerClient:  ops * 2,
+				ValueBytes:    64,
+				ReadRatio:     0.95,
+				QueuedReads:   queued,
+				MaxBatch:      16,
+				MaxDelay:      2 * time.Millisecond,
+				Shards:        shards,
+				CommitLatency: 2 * time.Millisecond,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("benchkit: GET-heavy loadgen (%d shards, queued=%v): %v", shards, queued, err))
+			}
+			path := "index"
+			speedup := 0.0
+			if queued {
+				path = "queued"
+				queuedOps = res.OpsThroughput
+			} else if queuedOps > 0 {
+				speedup = res.OpsThroughput / queuedOps
+			}
+			readTable.AddRowf(shards, path, res.AckedWrites, res.Gets,
+				float64(res.Wall.Milliseconds()), res.OpsThroughput, speedup)
+		}
+	}
+	return []*stats.Table{clientsTable, shardsTable, readTable}
 }

@@ -10,6 +10,11 @@
 // MaxDelay — makes the whole batch durable before its callers are acked. N
 // concurrent writers therefore share one snapshot's cost, the same
 // amortization that makes PAX epochs (and Snapshot's msync batching) fast.
+//
+// Reads do not take that path: §3.5 constrains mutation, not observation, so
+// the writer maintains a volatile read index (readindex.go) it updates at
+// apply time, and Get serves from it directly — a GET never enters the
+// request queue and never waits behind a commit in flight.
 package server
 
 import (
@@ -58,6 +63,13 @@ type Config struct {
 	// across shards, which is exactly what the loadgen shard sweep measures.
 	// Zero (the default) commits at simulator speed.
 	CommitLatency time.Duration
+	// QueuedReads routes GETs through the writer queue instead of the read
+	// index — the engine's pre-index behavior, kept so the read-path win
+	// stays measurable (`paxbench -loadgen -queued-reads`) and so a queued
+	// read remains available as a consistency oracle in tests. A queued GET
+	// serializes behind every request ahead of it, including commits in
+	// flight.
+	QueuedReads bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,28 +115,64 @@ type request struct {
 	done       chan result // buffered(1); exactly one result per request
 }
 
+// requestPool recycles request structs together with their done channels:
+// a request's lifecycle is strictly get → begin → one result received →
+// release, so the buffered(1) channel is always empty again at release time.
+var requestPool = sync.Pool{
+	New: func() any { return &request{done: make(chan result, 1)} },
+}
+
+// newRequest takes a pooled request. The caller must either fail to begin it
+// (and release it) or receive exactly one result from done (and release it).
+func newRequest(op opKind, key, value []byte) *request {
+	r := requestPool.Get().(*request)
+	r.op, r.key, r.value, r.found = op, key, value, false
+	return r
+}
+
+// release returns a request to the pool. Only call once the engine cannot
+// touch it anymore: after its result was received, or after begin failed.
+func (r *request) release() {
+	r.key, r.value = nil, nil
+	requestPool.Put(r)
+}
+
 // EngineStats are the engine's own counters (the pool's live underneath).
 type EngineStats struct {
 	AckedWrites  stats.Counter // mutations acked durable
-	Gets         stats.Counter // reads served
+	Gets         stats.Counter // reads served (index + queued)
 	GroupCommits stats.Counter // snapshots taken by the writer loop
 	BatchMax     stats.Counter // largest batch committed (gauge-as-counter)
 	Rejects      stats.Counter // requests dropped by backpressure
+
+	// Read-index counters: hits/misses for index-served GETs, and the entry
+	// count rebuilt from the recovered pool at startup.
+	ReadIndexHits    stats.Counter
+	ReadIndexMisses  stats.Counter
+	ReadIndexRebuilt stats.Counter
 }
 
 // Engine is the concurrent serving engine over one pool. All methods are
 // safe for concurrent use; internally a single writer goroutine owns the
-// pool, so the §3.5 single-mutator rule holds by construction.
+// pool, so the §3.5 single-mutator rule holds by construction. Reads are
+// served off the writer loop from the volatile read index (see readindex.go
+// for the consistency contract).
 type Engine struct {
 	pool *pax.Pool
 	kv   *pax.Map
 	cfg  Config
+	idx  *readIndex
 
 	reqs chan *request
 	stop chan struct{} // closed by Crash: abandon uncommitted work
 
-	mu     sync.RWMutex // guards closed against concurrent submit/Close
-	closed bool
+	// mu guards closed. It is never held across a blocking enqueue — begin
+	// registers with inflight under the read lock and releases before
+	// waiting for queue space — so Close/Crash acquire the write lock
+	// immediately even when the queue is full.
+	mu       sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup // begins past the closed check, not yet enqueued or failed
 
 	wg    sync.WaitGroup
 	stats EngineStats
@@ -133,7 +181,9 @@ type Engine struct {
 
 // New builds an engine serving the map rooted at slot of pool and starts its
 // writer loop. The engine becomes the pool's only legal mutator: direct pool
-// use while the engine runs violates the single-writer model.
+// use while the engine runs violates the single-writer model. The read index
+// is rebuilt here from the pool's recovered contents — recovery has already
+// rolled back any uncommitted epoch, so nothing rolled back can be indexed.
 func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	kv, err := pax.NewMap(pool, slot)
 	if err != nil {
@@ -143,8 +193,16 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 		pool: pool,
 		kv:   kv,
 		cfg:  cfg.withDefaults(),
+		idx:  newReadIndex(),
 		stop: make(chan struct{}),
 	}
+	kv.ForEach(func(key, value []byte) bool {
+		// ForEach hands out fresh copies, so the index can keep them.
+		s := e.idx.stripe(key)
+		s.m[string(key)] = value
+		return true
+	})
+	e.stats.ReadIndexRebuilt.Add(uint64(e.idx.len()))
 	e.reqs = make(chan *request, e.cfg.QueueDepth)
 	e.reg = pool.StatsRegistry()
 	e.reg.RegisterCounter("paxserve_acked_writes", &e.stats.AckedWrites)
@@ -152,6 +210,9 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	e.reg.RegisterCounter("paxserve_group_commits", &e.stats.GroupCommits)
 	e.reg.RegisterCounter("paxserve_batch_max", &e.stats.BatchMax)
 	e.reg.RegisterCounter("paxserve_queue_rejects", &e.stats.Rejects)
+	e.reg.RegisterCounter("paxserve_read_index_hits", &e.stats.ReadIndexHits)
+	e.reg.RegisterCounter("paxserve_read_index_misses", &e.stats.ReadIndexMisses)
+	e.reg.RegisterCounter("paxserve_read_index_rebuilt", &e.stats.ReadIndexRebuilt)
 	e.wg.Add(1)
 	go e.loop()
 	return e, nil
@@ -171,19 +232,36 @@ func (r *request) finish(res result) { r.done <- res }
 // engine owns the request and will deliver exactly one result on req.done;
 // the caller must read it. Callers that enqueue from a single goroutine get
 // their requests applied in call order — that is what lets the TCP server
-// pipeline a connection's requests without reordering its writes.
+// pipeline a connection's writes without reordering them.
+//
+// GETs (unless Config.QueuedReads) never reach the queue: begin answers them
+// inline from the read index, which is what lets the TCP server resolve a
+// pipelined GET without serializing it behind the connection's PUT acks.
 func (e *Engine) begin(req *request) error {
+	if req.op == opGet && !e.cfg.QueuedReads {
+		v, ok, err := e.Get(req.key)
+		if err != nil {
+			return err
+		}
+		req.finish(result{value: v, found: ok})
+		return nil
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		return ErrClosed
 	}
+	// Register as in flight while still under the lock: markClosed's write
+	// lock then happens-after this Add, so Close waits for us before closing
+	// the queue channel — without us holding any lock across the wait.
+	e.inflight.Add(1)
+	e.mu.RUnlock()
+	defer e.inflight.Done()
 	// Fast path: the queue usually has room, and a timer allocation per
-	// request is measurable on the PUT/GET hot loop. Only the contended
-	// path pays for one.
+	// request is measurable on the PUT hot loop. Only the contended path
+	// pays for one.
 	select {
 	case e.reqs <- req:
-		e.mu.RUnlock()
 		return nil
 	default:
 	}
@@ -191,55 +269,79 @@ func (e *Engine) begin(req *request) error {
 	defer timer.Stop()
 	select {
 	case e.reqs <- req:
-		e.mu.RUnlock()
 		return nil
 	case <-timer.C:
-		e.mu.RUnlock()
 		e.stats.Rejects.Inc()
 		return ErrBusy
 	case <-e.stop:
-		e.mu.RUnlock()
 		return ErrClosed
 	}
 }
 
-func (e *Engine) submit(req *request) result {
+// do runs one request to completion through the queue, recycling the
+// request struct on every path.
+func (e *Engine) do(op opKind, key, value []byte) result {
+	req := newRequest(op, key, value)
 	if err := e.begin(req); err != nil {
+		req.release()
 		return result{err: err}
 	}
-	return <-req.done
+	res := <-req.done
+	req.release()
+	return res
 }
 
-// Get returns the current value for key (applied order, not necessarily
-// durable yet — the engine's reads are read-your-writes).
+// Get returns the current value for key, served from the volatile read
+// index: applied order, not necessarily durable yet — read-your-writes with
+// respect to acked mutations, exactly the guarantee queued reads gave. Get
+// never blocks behind the request queue or a commit in flight. The returned
+// slice is the caller's to keep.
+//
+// With Config.QueuedReads the read takes the writer queue instead.
 func (e *Engine) Get(key []byte) ([]byte, bool, error) {
-	res := e.submit(&request{op: opGet, key: key, done: make(chan result, 1)})
-	return res.value, res.found, res.err
+	if e.cfg.QueuedReads {
+		res := e.do(opGet, key, nil)
+		return res.value, res.found, res.err
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := e.idx.get(key)
+	e.stats.Gets.Inc()
+	if ok {
+		e.stats.ReadIndexHits.Inc()
+	} else {
+		e.stats.ReadIndexMisses.Inc()
+	}
+	return v, ok, nil
 }
 
 // Put stores key=value and blocks until the write's group commit makes it
 // durable; the returned epoch is the snapshot containing it.
 func (e *Engine) Put(key, value []byte) (uint64, error) {
-	res := e.submit(&request{op: opPut, key: key, value: value, done: make(chan result, 1)})
+	res := e.do(opPut, key, value)
 	return res.epoch, res.err
 }
 
 // Delete removes key, blocking like Put; found reports prior presence.
 func (e *Engine) Delete(key []byte) (bool, uint64, error) {
-	res := e.submit(&request{op: opDelete, key: key, done: make(chan result, 1)})
+	res := e.do(opDelete, key, nil)
 	return res.found, res.epoch, res.err
 }
 
 // Persist forces a group commit and returns the durable epoch.
 func (e *Engine) Persist() (uint64, error) {
-	res := e.submit(&request{op: opPersist, done: make(chan result, 1)})
+	res := e.do(opPersist, nil, nil)
 	return res.epoch, res.err
 }
 
 // StatsText renders the metrics registry on the writer loop (so sampling
 // never races the mutator) and returns the `name value` lines.
 func (e *Engine) StatsText() (string, error) {
-	res := e.submit(&request{op: opStats, done: make(chan result, 1)})
+	res := e.do(opStats, nil, nil)
 	return res.text, res.err
 }
 
@@ -247,7 +349,7 @@ func (e *Engine) StatsText() (string, error) {
 // raw summary — the structured form of StatsText, for callers (the sharded
 // router) that merge several engines' metrics before rendering.
 func (e *Engine) Snapshot() (stats.Summary, error) {
-	res := e.submit(&request{op: opSnapshot, done: make(chan result, 1)})
+	res := e.do(opSnapshot, nil, nil)
 	return res.snap, res.err
 }
 
@@ -267,6 +369,11 @@ func (e *Engine) markClosed() bool {
 // ErrClosed. Close does not close the pool — the owner does.
 func (e *Engine) Close() error {
 	if e.markClosed() {
+		// Every begin that passed the closed check is registered in
+		// inflight; the writer loop is still consuming, so those blocked
+		// sends drain promptly (bounded by EnqueueTimeout). Only then is it
+		// safe to close the channel.
+		e.inflight.Wait()
 		close(e.reqs)
 	}
 	e.wg.Wait()
@@ -285,7 +392,10 @@ func (e *Engine) Crash() {
 	}
 	close(e.stop)
 	e.wg.Wait()
-	// The loop is gone; fail whatever is still sitting in the queue.
+	// Senders blocked on a full queue saw e.stop (or completed their send);
+	// once inflight drains, nothing can enter the queue anymore — new
+	// begins see closed — so this drain is exhaustive.
+	e.inflight.Wait()
 	for {
 		select {
 		case req := <-e.reqs:
@@ -298,10 +408,13 @@ func (e *Engine) Crash() {
 
 // apply executes one request against the pool. Mutations and persists are
 // returned as waiters to be acked at the batch commit; reads and stats are
-// answered immediately.
+// answered immediately. Applied mutations are mirrored into the read index
+// before anything else can observe them as acked.
 func (e *Engine) apply(req *request) (waiter *request) {
 	switch req.op {
 	case opGet:
+		// Only Config.QueuedReads sends GETs here; the index answers the
+		// rest in begin.
 		v, ok := e.kv.Get(req.key)
 		e.stats.Gets.Inc()
 		req.finish(result{value: v, found: ok})
@@ -311,6 +424,7 @@ func (e *Engine) apply(req *request) (waiter *request) {
 			req.finish(result{err: err})
 			return nil
 		}
+		e.idx.put(req.key, req.value)
 		return req
 	case opDelete:
 		found, err := e.kv.Delete(req.key)
@@ -318,6 +432,7 @@ func (e *Engine) apply(req *request) (waiter *request) {
 			req.finish(result{err: err})
 			return nil
 		}
+		e.idx.delete(req.key)
 		req.found = found
 		return req
 	case opPersist:
@@ -346,7 +461,8 @@ func (e *Engine) commit(waiters []*request) {
 	}
 	if e.cfg.CommitLatency > 0 {
 		// The medium is busy committing; the acks must wait for it. Other
-		// shards' writer loops keep running — this sleep is per pool.
+		// shards' writer loops keep running — this sleep is per pool — and
+		// index reads proceed throughout: the commit holds no index locks.
 		time.Sleep(e.cfg.CommitLatency)
 	}
 	e.stats.GroupCommits.Inc()
@@ -366,8 +482,8 @@ func failAll(waiters []*request, err error) {
 }
 
 // loop is the writer goroutine: it owns the pool and runs batches to
-// completion. Reads inside a batch are answered as they are applied; the
-// batch commits when it is full, when MaxDelay expires, on an explicit
+// completion. Queued reads inside a batch are answered as they are applied;
+// the batch commits when it is full, when MaxDelay expires, on an explicit
 // persist, or when the engine drains for shutdown.
 func (e *Engine) loop() {
 	defer e.wg.Done()
@@ -398,7 +514,7 @@ func (e *Engine) runBatch(first *request) bool {
 		waiters = append(waiters, w)
 	}
 	if len(waiters) == 0 {
-		return true // pure reads: nothing to commit
+		return true // pure reads/stats: nothing to commit
 	}
 	timer := time.NewTimer(e.cfg.MaxDelay)
 	defer timer.Stop()

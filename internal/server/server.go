@@ -164,31 +164,39 @@ func (s *Server) handle(conn net.Conn) {
 
 // beginDispatch starts req on the engine and returns a function that blocks
 // for its result and renders the wire response. Enqueue failures (closed,
-// backpressure) resolve immediately.
+// backpressure) resolve immediately, and so do GETs: the engine answers them
+// inline from the read index inside begin, so a pipelined GET's value is
+// fixed at dispatch time — it does not serialize behind the connection's
+// unacked PUTs (the response still leaves the wire in request order).
 func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
-	var ereq *request
+	var op opKind
 	switch req.Op {
 	case wire.OpGet:
-		ereq = &request{op: opGet, key: req.Key}
+		op = opGet
 	case wire.OpPut:
-		ereq = &request{op: opPut, key: req.Key, value: req.Value}
+		op = opPut
 	case wire.OpDelete:
-		ereq = &request{op: opDelete, key: req.Key}
+		op = opDelete
 	case wire.OpPersist:
-		ereq = &request{op: opPersist}
+		op = opPersist
 	case wire.OpStats:
-		ereq = &request{op: opStats}
+		op = opStats
 	default:
 		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
 		return func() wire.Response { return resp }
 	}
-	ereq.done = make(chan result, 1)
+	ereq := newRequest(op, req.Key, req.Value)
 	if err := s.backend.begin(ereq); err != nil {
+		ereq.release()
 		resp := errResponse(err)
 		return func() wire.Response { return resp }
 	}
-	op := req.Op
-	return func() wire.Response { return renderResponse(op, <-ereq.done) }
+	wireOp := req.Op
+	return func() wire.Response {
+		res := <-ereq.done
+		ereq.release()
+		return renderResponse(wireOp, res)
+	}
 }
 
 func renderResponse(op byte, res result) wire.Response {

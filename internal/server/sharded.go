@@ -227,7 +227,9 @@ func (s *ShardedEngine) begin(req *request) error {
 	return fmt.Errorf("server: unknown op %d", req.op)
 }
 
-// Get routes to the key's shard (read-your-writes, like Engine.Get).
+// Get routes to the key's shard and serves from that shard's read index —
+// no queue, no waiting behind the shard's commit in flight (read-your-writes
+// with respect to acked mutations, like Engine.Get).
 func (s *ShardedEngine) Get(key []byte) ([]byte, bool, error) {
 	return s.shards[s.ShardFor(key)].eng.Get(key)
 }
@@ -329,11 +331,13 @@ func mergeSummaries(snaps []stats.Summary) stats.Summary {
 
 // AggregateStats is the cross-shard rollup of the per-engine counters.
 type AggregateStats struct {
-	AckedWrites  uint64
-	Gets         uint64
-	GroupCommits uint64
-	BatchMax     uint64 // largest single-shard batch
-	Rejects      uint64
+	AckedWrites     uint64
+	Gets            uint64
+	GroupCommits    uint64
+	BatchMax        uint64 // largest single-shard batch
+	Rejects         uint64
+	ReadIndexHits   uint64
+	ReadIndexMisses uint64
 }
 
 // AggregateStats sums the engine counters across shards (BatchMax is the
@@ -346,6 +350,8 @@ func (s *ShardedEngine) AggregateStats() AggregateStats {
 		a.Gets += st.Gets.Load()
 		a.GroupCommits += st.GroupCommits.Load()
 		a.Rejects += st.Rejects.Load()
+		a.ReadIndexHits += st.ReadIndexHits.Load()
+		a.ReadIndexMisses += st.ReadIndexMisses.Load()
 		if b := st.BatchMax.Load(); b > a.BatchMax {
 			a.BatchMax = b
 		}

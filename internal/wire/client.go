@@ -149,7 +149,10 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return r.resp, nil
 }
 
-// Get fetches key; ok reports presence.
+// Get fetches key; ok reports presence. A GET is evaluated at server
+// dispatch time against the read index — pipelined concurrent callers
+// should note it does not wait for this connection's unacked mutations
+// (see the package ordering contract).
 func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
 	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
 	if err != nil {

@@ -18,6 +18,24 @@
 // StatusError, empty otherwise. The protocol is strictly in-order
 // request/response per connection, which is what lets clients pipeline:
 // the k-th response on a connection always answers the k-th request.
+//
+// # Ordering contract
+//
+// Responses are in request order, but *evaluation* order differs by opcode:
+//
+//   - PUT/DELETE/PERSIST are applied in wire order per connection and acked
+//     only once durable, so a connection's mutations of a key are totally
+//     ordered and an acked write is never lost.
+//   - GET is evaluated at dispatch time against the server's volatile read
+//     index — it does not serialize behind the connection's unacked
+//     mutations. A GET pipelined behind a PUT of the same key, without
+//     waiting for the PUT's response, may therefore observe the pre-PUT
+//     value (its response still arrives in order). Reads are
+//     read-your-writes with respect to acked mutations: wait for the PUT
+//     response before the GET and the new value is guaranteed. GETs may
+//     also observe applied-but-not-yet-durable data; after a crash the
+//     server rebuilds its index from recovered state, so a rolled-back
+//     value is never served.
 package wire
 
 import (
