@@ -61,6 +61,8 @@ func main() {
 		async     = flag.Bool("async", false, "commit batches with the pipelined persist (§6)")
 		queued    = flag.Bool("queued-reads", false, "serve GETs through the writer queue instead of the read index (pre-index behavior, for A/B measurement)")
 		slot      = flag.Int("root", 0, "pool root slot holding the served map")
+		retries   = flag.Int("commit-retries", 3, "persist retries per group commit before the shard seals fail-stop (-1 disables)")
+		retryDly  = flag.Duration("commit-retry-delay", 2*time.Millisecond, "wait before the first commit retry, doubling per attempt")
 	)
 	flag.Parse()
 	if *poolPath == "" {
@@ -68,9 +70,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Catch a missing parent directory here: deeper in the stack a media
-	// sync failure is (deliberately) fatal, which is the wrong surface for
-	// a typo'd path.
+	// Catch a missing parent directory here: deeper in the stack it would
+	// surface as a media sync failure sealing the shard, which is the wrong
+	// diagnosis for a typo'd path.
 	if dir := filepath.Dir(*poolPath); dir != "." {
 		if _, err := os.Stat(dir); err != nil {
 			fmt.Fprintf(os.Stderr, "paxserve: pool directory: %v\n", err)
@@ -111,13 +113,15 @@ func main() {
 	}
 
 	eng, err := server.OpenSharded(*poolPath, n, opts, *slot, server.Config{
-		MaxBatch:       *maxBatch,
-		MaxDelay:       *maxDelay,
-		QueueDepth:     *queue,
-		EnqueueTimeout: *reqTmo,
-		Async:          *async,
-		CommitLatency:  *commitLat,
-		QueuedReads:    *queued,
+		MaxBatch:         *maxBatch,
+		MaxDelay:         *maxDelay,
+		QueueDepth:       *queue,
+		EnqueueTimeout:   *reqTmo,
+		Async:            *async,
+		CommitLatency:    *commitLat,
+		QueuedReads:      *queued,
+		CommitRetries:    *retries,
+		CommitRetryDelay: *retryDly,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
@@ -156,6 +160,13 @@ func main() {
 	srv.Shutdown()
 	if err := eng.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: close: %v\n", err)
+		// Per-shard health so an operator can tell a degraded shutdown (one
+		// shard's media failed) from a total one.
+		for k, herr := range eng.Health() {
+			if herr != nil {
+				fmt.Fprintf(os.Stderr, "paxserve: shard %d sealed: %v\n", k, herr)
+			}
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("paxserve: %d shard(s) sealed at durable epoch %d\n", eng.NumShards(), eng.DurableEpoch())

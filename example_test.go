@@ -22,7 +22,7 @@ func ExampleMapPool() {
 		fmt.Printf("Key 1 = %s\n", v)
 	}
 	ht.Put([]byte("2"), []byte("200"))
-	st := pool.Persist()
+	st, _ := pool.Persist()
 	fmt.Printf("epoch %d durable\n", st.Epoch)
 	// Output:
 	// Key 1 = 100

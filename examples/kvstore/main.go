@@ -53,7 +53,10 @@ func main() {
 		if err := m.Put([]byte(os.Args[2]), []byte(os.Args[3])); err != nil {
 			log.Fatal(err)
 		}
-		st := pool.Persist()
+		st, err := pool.Persist()
+		if err != nil {
+			log.Fatalf("persist: %v (the write is NOT durable)", err)
+		}
 		fmt.Printf("ok (epoch %d, %v simulated persist latency)\n", st.Epoch, st.SimulatedLatency)
 	case "get":
 		if len(os.Args) != 3 {

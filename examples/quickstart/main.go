@@ -36,7 +36,10 @@ func main() {
 
 	// Line 6: one call makes everything since the last persist durable as
 	// an atomic snapshot.
-	st := pool.Persist()
+	st, err := pool.Persist()
+	if err != nil {
+		log.Fatalf("persist: %v (the snapshot is NOT durable)", err)
+	}
 	fmt.Printf("persisted epoch %d: %d lines snooped back, %d written to PM, %v simulated latency\n",
 		st.Epoch, st.LinesSnooped, st.LinesWritten, st.SimulatedLatency)
 

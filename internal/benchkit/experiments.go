@@ -422,7 +422,10 @@ func EpochLength(cfg Config, sz Sizes) []*stats.Table {
 		var persists, lines int
 		f.Persist = func() {
 			before := f.Core.Now()
-			rep := pool.Persist()
+			rep, err := pool.Persist()
+			if err != nil {
+				panic(err) // in-memory fixture: media cannot fail
+			}
 			persistTime += f.Core.Now() - before
 			persists++
 			lines += rep.LinesSnooped

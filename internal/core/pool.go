@@ -178,7 +178,9 @@ func Create(pm *pmem.Device, opts Options) (*Pool, error) {
 	// Commit the formatted (empty) pool as the first durable snapshot, so a
 	// crash right after Create recovers an empty pool instead of failing to
 	// find the allocator.
-	p.Persist()
+	if _, err := p.Persist(); err != nil {
+		return nil, fmt.Errorf("core: committing formatted pool: %w", err)
+	}
 	return p, nil
 }
 
@@ -321,31 +323,37 @@ func (p *Pool) Root(slot int) uint64 {
 // wait for undo durability, write everything back, and atomically commit the
 // epoch. The calling thread (core 0) stalls until the device reports
 // completion. The caller must ensure no other thread is mutating vPM (§3.5).
-func (p *Pool) Persist() device.PersistReport {
+//
+// A non-nil error means the backing medium refused the image (an msync-class
+// failure: EIO, ENOSPC): the epoch is NOT durable across a process restart
+// and the caller must not ack anything from it. The device-side state has
+// still advanced, so retrying Persist is legal — a later successful call
+// makes everything up to it durable. The report is returned either way for
+// its timing fields.
+func (p *Pool) Persist() (device.PersistReport, error) {
 	core0 := p.hier.Core(0)
 	rep := p.dev.Persist(core0.Now())
 	core0.Clock().AdvanceTo(rep.Done)
 	if err := p.pm.Sync(); err != nil {
-		// Media sync failures only matter for file-backed pools; surface
-		// loudly rather than pretending the snapshot is durable.
-		panic(fmt.Sprintf("core: pool sync failed: %v", err))
+		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
-	return rep
+	return rep, nil
 }
 
 // PersistPipelined is the §6 non-blocking persist: the calling thread pays
 // only the command-issue latency while the device commits the epoch in the
 // background, overlapping the next epoch. The returned report's Done is the
 // device-side commit time. As with Persist, no thread may be mutating vPM at
-// the call (the snapshot point is the call itself).
-func (p *Pool) PersistPipelined() device.PersistReport {
+// the call (the snapshot point is the call itself), and a non-nil error
+// means the epoch is not durable on media (see Persist).
+func (p *Pool) PersistPipelined() (device.PersistReport, error) {
 	core0 := p.hier.Core(0)
 	rep, release := p.dev.PersistPipelined(core0.Now())
 	core0.Clock().AdvanceTo(release)
 	if err := p.pm.Sync(); err != nil {
-		panic(fmt.Sprintf("core: pool sync failed: %v", err))
+		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
-	return rep
+	return rep, nil
 }
 
 // Close syncs the media image (for file-backed pools) without persisting the

@@ -153,7 +153,10 @@ func TestSuccessiveEpochs(t *testing.T) {
 	m := p.Mem(0)
 	for v := uint64(1); v <= 5; v++ {
 		storeU64(m, addr, v)
-		rep := p.Persist()
+		rep, err := p.Persist()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if rep.Epoch != v+1 { // epoch 1 was the create snapshot
 			t.Fatalf("persist %d ran in epoch %d", v, rep.Epoch)
 		}
@@ -269,7 +272,10 @@ func TestPersistReportCounts(t *testing.T) {
 	for i := uint64(0); i < 16; i++ { // touch 2 lines per iteration boundary
 		storeU64(m, addr+i*64, i)
 	}
-	rep := p.Persist()
+	rep, err := p.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.LinesSnooped < 16 {
 		t.Fatalf("snooped %d lines, want ≥16", rep.LinesSnooped)
 	}

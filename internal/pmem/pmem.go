@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"pax/internal/sim"
 	"pax/internal/stats"
@@ -28,6 +30,25 @@ import (
 // atomicity of a single store (8 bytes on x86).
 const AtomicWriteUnit = 8
 
+// FaultOp identifies a media-durability stage a fault hook can fail. The
+// stages mirror Sync's staging protocol; in-memory devices, which have no
+// file to sync, consult only FaultFileSync (modeling the media commit
+// itself), so one fault schedule drives both backings.
+type FaultOp string
+
+// Sync stages, in execution order.
+const (
+	// FaultWriteImage fails writing the staged temp image (ENOSPC-class).
+	FaultWriteImage FaultOp = "write-image"
+	// FaultFileSync fails the temp file's fsync (EIO-class). This is the
+	// stage the FailSyncs/FailSyncsAfter schedules count.
+	FaultFileSync FaultOp = "fsync"
+	// FaultRename fails publishing the image under the pool's name.
+	FaultRename FaultOp = "rename"
+	// FaultDirSync fails the directory fsync that makes the rename durable.
+	FaultDirSync FaultOp = "dirsync"
+)
+
 // Config parameterizes a Device.
 type Config struct {
 	// Size is the media capacity in bytes.
@@ -36,6 +57,45 @@ type Config struct {
 	ReadLatency, WriteLatency sim.Time
 	// ReadBandwidth and WriteBandwidth are channel rates in bytes/second.
 	ReadBandwidth, WriteBandwidth float64
+	// FaultFn, when set, is consulted before each media-durability stage; a
+	// non-nil return makes that stage fail with the returned error. Fault
+	// injection for tests and chaos harnesses — see FailSyncs and
+	// FailSyncsAfter for ready-made schedules. Installable after Open via
+	// SetFaultFn.
+	FaultFn func(FaultOp) error
+}
+
+// FailSyncs returns a fault schedule whose first n media syncs fail with err
+// and whose later ones succeed — a transient fault the medium recovers from.
+// The schedule counts FaultFileSync stages only, so one schedule means the
+// same thing on file-backed and in-memory devices. Safe for concurrent use.
+func FailSyncs(n int, err error) func(FaultOp) error {
+	var calls atomic.Int64
+	return func(op FaultOp) error {
+		if op != FaultFileSync {
+			return nil
+		}
+		if calls.Add(1) <= int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// FailSyncsAfter returns a fault schedule whose first k media syncs succeed
+// and whose later ones all fail with err — a persistent fault (dead device,
+// filesystem gone read-only). k=0 fails every sync. Counts like FailSyncs.
+func FailSyncsAfter(k int, err error) func(FaultOp) error {
+	var calls atomic.Int64
+	return func(op FaultOp) error {
+		if op != FaultFileSync {
+			return nil
+		}
+		if calls.Add(1) > int64(k) {
+			return err
+		}
+		return nil
+	}
 }
 
 // DefaultConfig returns an Optane-DCPMM-like device of the given size.
@@ -78,6 +138,9 @@ type Device struct {
 	// tests record the exact durable-write sequence through it).
 	writeHook func(addr uint64, data []byte)
 
+	// faultFn, when set, can fail media-durability stages (see FaultOp).
+	faultFn func(FaultOp) error
+
 	// Stats.
 	Reads, Writes           stats.Counter
 	BytesRead, BytesWritten stats.Counter
@@ -91,6 +154,7 @@ func New(cfg Config) *Device {
 	return &Device{
 		cfg:     cfg,
 		media:   make([]byte, cfg.Size),
+		faultFn: cfg.FaultFn,
 		readBW:  sim.NewBandwidthMeter("pm-read", cfg.ReadBandwidth),
 		writeBW: sim.NewBandwidthMeter("pm-write", cfg.WriteBandwidth),
 	}
@@ -98,10 +162,17 @@ func New(cfg Config) *Device {
 
 // Open returns a device backed by the file at path, creating it (zero-filled)
 // if absent. Existing contents are loaded; a size mismatch with cfg.Size is
-// an error, because silently resizing a pool would corrupt its layout.
+// an error, because silently resizing a pool would corrupt its layout. A
+// stale staging file left by a crash mid-Sync is removed: it is never valid
+// state (Sync republishes the whole image atomically via rename), only
+// leftover garbage that would otherwise accumulate and confuse layout
+// discovery.
 func Open(path string, cfg Config) (*Device, error) {
 	d := New(cfg)
 	d.path = path
+	if err := os.Remove(path + syncTempSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("pmem: removing stale temp for %s: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -204,25 +275,109 @@ func (d *Device) InjectTear(addr uint64, n, validPrefix int) {
 	}
 }
 
-// Sync writes the media image to the backing file, if any. In-memory devices
-// return nil. The write is staged through a temp file and renamed so a crash
-// of the *simulator process* itself cannot half-write a pool image.
+// syncTempSuffix names the staging file Sync writes before renaming it over
+// the pool file. Open and shard discovery know to ignore/clean it.
+const syncTempSuffix = ".tmp"
+
+// SetFaultFn installs (or, with nil, clears) a fault hook on an open device;
+// the next durability stage consults it. See Config.FaultFn.
+func (d *Device) SetFaultFn(fn func(FaultOp) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faultFn = fn
+}
+
+// faultAt consults the fault hook for one durability stage.
+func (d *Device) faultAt(op FaultOp) error {
+	d.mu.Lock()
+	fn := d.faultFn
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op)
+}
+
+// Sync makes the media image durable on the backing file, if any. The image
+// is staged through a temp file (written, fsynced), renamed over the pool
+// file, and the directory is fsynced — so a crash at any point leaves either
+// the old image or the new one, never a torn mix, and the rename itself
+// survives a kernel crash. On failure the previous image is untouched and
+// the staging file is cleaned up; the caller must treat the epoch as not
+// durable. In-memory devices have no file but still consult the fault hook
+// (at the FaultFileSync stage), so durability failures can be injected
+// without file backing.
 func (d *Device) Sync() error {
 	if d.path == "" {
+		if err := d.faultAt(FaultFileSync); err != nil {
+			return fmt.Errorf("pmem: sync: %w", err)
+		}
 		return nil
 	}
 	d.mu.Lock()
 	snapshot := make([]byte, len(d.media))
 	copy(snapshot, d.media)
 	d.mu.Unlock()
-	tmp := d.path + ".tmp"
-	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+	tmp := d.path + syncTempSuffix
+	if err := d.writeImage(tmp, snapshot); err != nil {
+		os.Remove(tmp) // best effort; Open clears leftovers too
 		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
+	}
+	if err := d.faultAt(FaultRename); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pmem: sync %s: rename: %w", d.path, err)
 	}
 	if err := os.Rename(tmp, d.path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
 	}
+	if err := d.syncDir(); err != nil {
+		return fmt.Errorf("pmem: sync %s: directory: %w", d.path, err)
+	}
 	return nil
+}
+
+// writeImage stages the image into tmp and fsyncs it, so every byte is on
+// media before the rename can expose the file under the pool's name.
+func (d *Device) writeImage(tmp string, image []byte) error {
+	if err := d.faultAt(FaultWriteImage); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		return err
+	}
+	if err := d.faultAt(FaultFileSync); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs the directory holding the pool file: without it a kernel
+// crash shortly after the rename can resurrect the old directory entry, and
+// with it the old image, losing a snapshot Sync already reported durable.
+func (d *Device) syncDir() error {
+	if err := d.faultAt(FaultDirSync); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(d.path))
+	if err != nil {
+		return err
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Snapshot returns a copy of the full media image — what a post-crash

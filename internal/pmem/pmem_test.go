@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -162,6 +163,135 @@ func TestFileBacking(t *testing.T) {
 func TestInMemorySyncIsNil(t *testing.T) {
 	if err := New(DefaultConfig(64)).Sync(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOpenCleansStaleTemp is the crash-mid-Sync recovery path: a crash
+// between staging and rename leaves <path>.tmp next to an intact image; Open
+// must discard the temp and load the image untouched.
+func TestOpenCleansStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.pool")
+	cfg := DefaultConfig(1024)
+
+	d, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(10, []byte("intact"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a half-written staging file, as a crash mid-Sync would leave.
+	if err := os.WriteFile(path+".tmp", []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not cleaned: %v", err)
+	}
+	buf := make([]byte, 6)
+	d2.Read(10, buf, 0)
+	if string(buf) != "intact" {
+		t.Fatalf("image corrupted by temp cleanup: %q", buf)
+	}
+}
+
+// TestSyncFaultLeavesOldImage: a failed Sync must leave the previous durable
+// image untouched (and no staging litter), whichever stage failed.
+func TestSyncFaultLeavesOldImage(t *testing.T) {
+	injected := errors.New("injected EIO")
+	for _, stage := range []FaultOp{FaultWriteImage, FaultFileSync, FaultRename, FaultDirSync} {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "test.pool")
+			d, err := Open(path, DefaultConfig(1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Write(0, []byte("old image"), 0)
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			d.Write(0, []byte("new image"), 0)
+			stage := stage
+			d.SetFaultFn(func(op FaultOp) error {
+				if op == stage {
+					return injected
+				}
+				return nil
+			})
+			err = d.Sync()
+			if stage == FaultDirSync {
+				// The rename already published the new image; only its
+				// directory durability is in doubt. Sync must still report
+				// the failure.
+				if !errors.Is(err, injected) {
+					t.Fatalf("dirsync fault not surfaced: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, injected) {
+				t.Fatalf("stage %s: got %v, want injected fault", stage, err)
+			}
+			if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+				t.Fatalf("stage %s: staging file left behind", stage)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(got[:9]) != "old image" {
+				t.Fatalf("stage %s: durable image clobbered by failed sync: %q", stage, got[:9])
+			}
+
+			// Fault cleared: the retry succeeds and publishes the new image.
+			d.SetFaultFn(nil)
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			got, rerr = os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(got[:9]) != "new image" {
+				t.Fatalf("stage %s: retry did not publish new image: %q", stage, got[:9])
+			}
+		})
+	}
+}
+
+// TestFaultSchedules exercises the transient and persistent schedule
+// constructors on an in-memory device.
+func TestFaultSchedules(t *testing.T) {
+	injected := errors.New("injected fault")
+
+	cfg := DefaultConfig(64)
+	cfg.FaultFn = FailSyncs(2, injected)
+	d := New(cfg)
+	for i := 0; i < 2; i++ {
+		if err := d.Sync(); !errors.Is(err, injected) {
+			t.Fatalf("transient sync %d: got %v, want fault", i, err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("transient fault did not clear: %v", err)
+	}
+
+	d2 := New(DefaultConfig(64))
+	d2.SetFaultFn(FailSyncsAfter(1, injected))
+	if err := d2.Sync(); err != nil {
+		t.Fatalf("sync before fail-after threshold: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d2.Sync(); !errors.Is(err, injected) {
+			t.Fatalf("persistent sync %d: got %v, want fault", i, err)
+		}
 	}
 }
 

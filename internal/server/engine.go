@@ -32,8 +32,16 @@ var (
 	// ErrClosed is returned for requests after Close (or a crash).
 	ErrClosed = errors.New("server: engine closed")
 	// ErrBusy is returned when the request queue stays full past the
-	// enqueue timeout — the backpressure signal.
+	// enqueue timeout — the backpressure signal. The wire layer maps it to
+	// StatusBusy so clients can retry it, distinct from fatal errors.
 	ErrBusy = errors.New("server: request queue full")
+	// ErrSealed is wrapped by every error an engine returns after a
+	// durability failure sealed it fail-stop: a group commit could not
+	// reach media even after retries, so the engine stops accepting work
+	// rather than acking writes it cannot make durable. Previously acked
+	// writes are unaffected (they synced with their own commits). Detect
+	// with errors.Is(err, ErrSealed).
+	ErrSealed = errors.New("server: engine sealed by durability failure")
 )
 
 // Config tunes the engine.
@@ -70,6 +78,15 @@ type Config struct {
 	// serializes behind every request ahead of it, including commits in
 	// flight.
 	QueuedReads bool
+	// CommitRetries is how many extra persist attempts a group commit whose
+	// media sync failed gets before the engine gives up and seals
+	// (default 3; negative disables retries). A fault that clears within
+	// the retry budget is transient — the batch still acks, no client sees
+	// it. One that does not is treated as persistent media failure.
+	CommitRetries int
+	// CommitRetryDelay is the wait before the first commit retry, doubling
+	// per attempt (default 2ms).
+	CommitRetryDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +101,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EnqueueTimeout <= 0 {
 		c.EnqueueTimeout = 5 * time.Second
+	}
+	switch {
+	case c.CommitRetries == 0:
+		c.CommitRetries = 3
+	case c.CommitRetries < 0:
+		c.CommitRetries = 0
+	}
+	if c.CommitRetryDelay <= 0 {
+		c.CommitRetryDelay = 2 * time.Millisecond
 	}
 	return c
 }
@@ -150,6 +176,12 @@ type EngineStats struct {
 	ReadIndexHits    stats.Counter
 	ReadIndexMisses  stats.Counter
 	ReadIndexRebuilt stats.Counter
+
+	// Durability-failure counters: persist attempts retried after a media
+	// fault, and group commits that failed permanently (each one seals the
+	// engine, so CommitFailures is effectively 0 or 1).
+	CommitRetries  stats.Counter
+	CommitFailures stats.Counter
 }
 
 // Engine is the concurrent serving engine over one pool. All methods are
@@ -164,14 +196,16 @@ type Engine struct {
 	idx  *readIndex
 
 	reqs chan *request
-	stop chan struct{} // closed by Crash: abandon uncommitted work
+	stop chan struct{} // closed by Crash/seal: abandon uncommitted work
 
-	// mu guards closed. It is never held across a blocking enqueue — begin
-	// registers with inflight under the read lock and releases before
-	// waiting for queue space — so Close/Crash acquire the write lock
-	// immediately even when the queue is full.
+	// mu guards closed and sealErr. It is never held across a blocking
+	// enqueue — begin registers with inflight under the read lock and
+	// releases before waiting for queue space — so Close/Crash acquire the
+	// write lock immediately even when the queue is full.
 	mu       sync.RWMutex
 	closed   bool
+	sealErr  error          // non-nil once a durability failure sealed the engine
+	stopOnce sync.Once      // close(stop) can race between Crash and seal
 	inflight sync.WaitGroup // begins past the closed check, not yet enqueued or failed
 
 	wg    sync.WaitGroup
@@ -213,6 +247,14 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	e.reg.RegisterCounter("paxserve_read_index_hits", &e.stats.ReadIndexHits)
 	e.reg.RegisterCounter("paxserve_read_index_misses", &e.stats.ReadIndexMisses)
 	e.reg.RegisterCounter("paxserve_read_index_rebuilt", &e.stats.ReadIndexRebuilt)
+	e.reg.RegisterCounter("paxserve_commit_retries", &e.stats.CommitRetries)
+	e.reg.RegisterCounter("paxserve_commit_failures", &e.stats.CommitFailures)
+	e.reg.Register("paxserve_sealed", func() float64 {
+		if e.SealErr() != nil {
+			return 1
+		}
+		return 0
+	})
 	e.wg.Add(1)
 	go e.loop()
 	return e, nil
@@ -248,8 +290,12 @@ func (e *Engine) begin(req *request) error {
 	}
 	e.mu.RLock()
 	if e.closed {
+		err := ErrClosed
+		if e.sealErr != nil {
+			err = e.sealErr
+		}
 		e.mu.RUnlock()
-		return ErrClosed
+		return err
 	}
 	// Register as in flight while still under the lock: markClosed's write
 	// lock then happens-after this Add, so Close waits for us before closing
@@ -274,7 +320,7 @@ func (e *Engine) begin(req *request) error {
 		e.stats.Rejects.Inc()
 		return ErrBusy
 	case <-e.stop:
-		return ErrClosed
+		return e.failErr()
 	}
 }
 
@@ -304,9 +350,15 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 		return res.value, res.found, res.err
 	}
 	e.mu.RLock()
-	closed := e.closed
+	closed, sealErr := e.closed, e.sealErr
 	e.mu.RUnlock()
 	if closed {
+		// A sealed engine fails reads too: the index may hold applied
+		// mutations the media never accepted, which will roll back on
+		// recovery — serving them would fabricate acked state.
+		if sealErr != nil {
+			return nil, false, sealErr
+		}
 		return nil, false, ErrClosed
 	}
 	v, ok := e.idx.get(key)
@@ -339,18 +391,39 @@ func (e *Engine) Persist() (uint64, error) {
 }
 
 // StatsText renders the metrics registry on the writer loop (so sampling
-// never races the mutator) and returns the `name value` lines.
+// never races the mutator) and returns the `name value` lines. A sealed
+// engine still renders: health must stay observable after a failure, and
+// with the writer loop gone direct sampling cannot race a mutator.
 func (e *Engine) StatsText() (string, error) {
 	res := e.do(opStats, nil, nil)
+	if res.err != nil && errors.Is(res.err, ErrSealed) {
+		e.wg.Wait()
+		return e.reg.Text(), nil
+	}
 	return res.text, res.err
 }
 
 // Snapshot samples the metrics registry on the writer loop and returns the
 // raw summary — the structured form of StatsText, for callers (the sharded
-// router) that merge several engines' metrics before rendering.
+// router) that merge several engines' metrics before rendering. Like
+// StatsText it keeps working on a sealed engine, so a sharded STATS can
+// report per-shard health with one shard down.
 func (e *Engine) Snapshot() (stats.Summary, error) {
 	res := e.do(opSnapshot, nil, nil)
+	if res.err != nil && errors.Is(res.err, ErrSealed) {
+		e.wg.Wait()
+		return e.reg.Snapshot(), nil
+	}
 	return res.snap, res.err
+}
+
+// SealErr reports the durability failure that sealed the engine fail-stop
+// (nil while healthy). A sealed engine rejects every request with this
+// error; previously acked writes are unaffected.
+func (e *Engine) SealErr() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sealErr
 }
 
 // markClosed flips the closed flag once; reports whether this call did it.
@@ -364,25 +437,71 @@ func (e *Engine) markClosed() bool {
 	return true
 }
 
+// failErr is the error requests receive when the loop is gone: the seal
+// error after a durability failure, plain ErrClosed otherwise.
+func (e *Engine) failErr() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.sealErr != nil {
+		return e.sealErr
+	}
+	return ErrClosed
+}
+
+// seal marks the engine failed-stop after cause: every subsequent request —
+// and everything still queued — fails with the seal error. Unlike Close it
+// never attempts a final persist; the medium already refused one.
+func (e *Engine) seal(cause error) {
+	e.mu.Lock()
+	if e.sealErr == nil {
+		e.sealErr = fmt.Errorf("%w: %v", ErrSealed, cause)
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.stopOnce.Do(func() { close(e.stop) })
+}
+
+// drainQueue fails every queued request with failErr. Callers must ensure
+// nothing can still enter the queue (stop closed and inflight drained, or
+// the channel closed).
+func (e *Engine) drainQueue() {
+	for {
+		select {
+		case req, ok := <-e.reqs:
+			if !ok {
+				return // Close raced us and closed the channel
+			}
+			req.finish(result{err: e.failErr()})
+		default:
+			return
+		}
+	}
+}
+
 // Close drains the queue, commits every remaining mutation plus the open
 // epoch, and stops the writer loop. Requests arriving after Close fail with
-// ErrClosed. Close does not close the pool — the owner does.
+// ErrClosed. Close does not close the pool — the owner does. If the engine
+// sealed — before Close, or while Close's final commit ran — the sealing
+// durability error is returned: callers must not treat a sealed shard's
+// shutdown as clean.
 func (e *Engine) Close() error {
 	if e.markClosed() {
 		// Every begin that passed the closed check is registered in
 		// inflight; the writer loop is still consuming, so those blocked
 		// sends drain promptly (bounded by EnqueueTimeout). Only then is it
-		// safe to close the channel.
+		// safe to close the channel. If the loop died sealing mid-drain, its
+		// own drain (which tolerates the channel closing) empties the queue.
 		e.inflight.Wait()
 		close(e.reqs)
 	}
 	e.wg.Wait()
-	return nil
+	return e.SealErr()
 }
 
 // Crash is the test hook for failure injection: it stops the writer loop
 // without committing, abandoning applied-but-unacked mutations exactly as a
-// machine crash would. Queued and in-flight requests fail with ErrClosed.
+// machine crash would. Queued and in-flight requests fail with ErrClosed (or
+// the seal error, if a durability failure got there first).
 func (e *Engine) Crash() {
 	if !e.markClosed() {
 		// Already closed (gracefully or by an earlier Crash): nothing to
@@ -390,20 +509,13 @@ func (e *Engine) Crash() {
 		e.wg.Wait()
 		return
 	}
-	close(e.stop)
+	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
 	// Senders blocked on a full queue saw e.stop (or completed their send);
 	// once inflight drains, nothing can enter the queue anymore — new
 	// begins see closed — so this drain is exhaustive.
 	e.inflight.Wait()
-	for {
-		select {
-		case req := <-e.reqs:
-			req.finish(result{err: ErrClosed})
-		default:
-			return
-		}
-	}
+	e.drainQueue()
 }
 
 // apply executes one request against the pool. Mutations and persists are
@@ -448,16 +560,32 @@ func (e *Engine) apply(req *request) (waiter *request) {
 	return nil
 }
 
-// commit snapshots the pool and acks every waiter with the durable epoch.
-func (e *Engine) commit(waiters []*request) {
-	if len(waiters) == 0 {
-		return
-	}
-	var st pax.PersistStats
+// persistBatch runs one persist attempt in the configured commit mode.
+func (e *Engine) persistBatch() (pax.PersistStats, error) {
 	if e.cfg.Async {
-		st = e.pool.PersistAsync()
-	} else {
-		st = e.pool.Persist()
+		return e.pool.PersistAsync()
+	}
+	return e.pool.Persist()
+}
+
+// commit snapshots the pool and acks every waiter with the durable epoch.
+// A persist whose media sync fails is retried up to CommitRetries times with
+// doubling backoff — retrying is legal because a failed Sync never publishes
+// a partial image, and nothing is acked until one attempt fully succeeds. If
+// every attempt fails the waiters are failed (never acked) and the error is
+// returned for the caller to seal the engine. commit(nil) is the shutdown
+// path: it seals the open epoch through this same accounting.
+func (e *Engine) commit(waiters []*request) error {
+	st, err := e.persistBatch()
+	for attempt := 0; err != nil && attempt < e.cfg.CommitRetries; attempt++ {
+		e.stats.CommitRetries.Inc()
+		time.Sleep(e.cfg.CommitRetryDelay << attempt)
+		st, err = e.persistBatch()
+	}
+	if err != nil {
+		e.stats.CommitFailures.Inc()
+		failAll(waiters, fmt.Errorf("%w: %v", ErrSealed, err))
+		return err
 	}
 	if e.cfg.CommitLatency > 0 {
 		// The medium is busy committing; the acks must wait for it. Other
@@ -466,13 +594,16 @@ func (e *Engine) commit(waiters []*request) {
 		time.Sleep(e.cfg.CommitLatency)
 	}
 	e.stats.GroupCommits.Inc()
-	e.stats.BatchMax.StoreMax(uint64(len(waiters)))
+	if len(waiters) > 0 {
+		e.stats.BatchMax.StoreMax(uint64(len(waiters)))
+	}
 	for _, w := range waiters {
 		if w.op != opPersist {
 			e.stats.AckedWrites.Inc()
 		}
 		w.finish(result{found: w.found, epoch: st.Epoch})
 	}
+	return nil
 }
 
 func failAll(waiters []*request, err error) {
@@ -494,8 +625,14 @@ func (e *Engine) loop() {
 		case req, ok := <-e.reqs:
 			if !ok {
 				// Graceful shutdown: every prior batch committed before
-				// this point, so one empty persist seals the open epoch.
-				e.pool.Persist()
+				// this point, so one empty commit seals the open epoch —
+				// through the normal commit path, so the final persist gets
+				// the same retry budget, latency model, and accounting as
+				// any group commit. If even that fails, the engine seals and
+				// Close surfaces the error.
+				if err := e.commit(nil); err != nil {
+					e.seal(err)
+				}
 				return
 			}
 			if !e.runBatch(req) {
@@ -521,7 +658,7 @@ func (e *Engine) runBatch(first *request) bool {
 	for !force && len(waiters) < e.cfg.MaxBatch {
 		select {
 		case <-e.stop:
-			failAll(waiters, ErrClosed)
+			failAll(waiters, e.failErr())
 			return false
 		case <-timer.C:
 			force = true
@@ -540,6 +677,15 @@ func (e *Engine) runBatch(first *request) bool {
 			}
 		}
 	}
-	e.commit(waiters)
+	if err := e.commit(waiters); err != nil {
+		// The batch's waiters were already failed inside commit. Seal before
+		// draining: once stop is closed and inflight unwinds, nothing new can
+		// enter the queue, so the drain below is exhaustive and no queued
+		// request is left waiting on a dead writer loop.
+		e.seal(err)
+		e.inflight.Wait()
+		e.drainQueue()
+		return false
+	}
 	return true
 }

@@ -223,6 +223,14 @@ func renderResponse(op byte, res result) wire.Response {
 	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}
 }
 
+// errResponse maps engine errors onto wire statuses: backpressure (ErrBusy)
+// becomes StatusBusy so clients retry by status byte; everything else —
+// including a sealed shard's durability error — is StatusError, which a
+// client must not blindly retry.
 func errResponse(err error) wire.Response {
-	return wire.Response{Status: wire.StatusError, Body: []byte(err.Error())}
+	status := wire.StatusError
+	if errors.Is(err, ErrBusy) {
+		status = wire.StatusBusy
+	}
+	return wire.Response{Status: status, Body: []byte(err.Error())}
 }

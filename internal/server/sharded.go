@@ -78,20 +78,30 @@ func DiscoverShards(path string) (int, error) {
 	if len(matches) == 0 {
 		return 0, nil
 	}
-	seen := make(map[int]bool, len(matches))
+	seen := make(map[int]bool)
+	count := 0
 	for _, m := range matches {
+		if strings.HasSuffix(m, ".tmp") {
+			// Staging litter from a crash mid-Sync (pmem writes <file>.tmp
+			// then renames). Open cleans it per shard; it is not a shard.
+			continue
+		}
 		k, err := strconv.Atoi(strings.TrimPrefix(m, path+".shard-"))
 		if err != nil {
 			return 0, fmt.Errorf("server: unrecognized shard file %q", m)
 		}
 		seen[k] = true
+		count++
 	}
-	for k := 0; k < len(matches); k++ {
+	if count == 0 {
+		return 0, nil
+	}
+	for k := 0; k < count; k++ {
 		if !seen[k] {
-			return 0, fmt.Errorf("server: shard files are not contiguous: missing %s", ShardPath(path, len(matches)+1, k))
+			return 0, fmt.Errorf("server: shard files are not contiguous: missing %s", ShardPath(path, count+1, k))
 		}
 	}
-	return len(matches), nil
+	return count, nil
 }
 
 // OpenSharded opens (creating or recovering as needed) shards pool files
@@ -359,6 +369,19 @@ func (s *ShardedEngine) AggregateStats() AggregateStats {
 	return a
 }
 
+// Health reports each shard's seal error, indexed by shard: nil for a shard
+// that is serving, the wrapped ErrSealed durability failure for one that
+// sealed fail-stop. A sealed shard takes down only its own keyspace — the
+// router keeps serving the others — so callers use Health to decide whether
+// "some errors" means degraded (a subset sealed) or down (all sealed).
+func (s *ShardedEngine) Health() []error {
+	errs := make([]error, len(s.shards))
+	for k, sh := range s.shards {
+		errs[k] = sh.eng.SealErr()
+	}
+	return errs
+}
+
 // Recoveries reports what opening each shard repaired, indexed by shard.
 func (s *ShardedEngine) Recoveries() []pax.RecoveryInfo {
 	recs := make([]pax.RecoveryInfo, len(s.shards))
@@ -382,18 +405,31 @@ func (s *ShardedEngine) DurableEpoch() uint64 {
 // Close drains and seals every shard in parallel (each engine commits its
 // remaining mutations plus the open epoch), freezes a final metrics
 // snapshot, and closes the backing pools. Unlike Engine.Close it owns the
-// pools, because it opened them.
+// pools, because it opened them. Every shard is closed regardless of
+// individual failures; the first durability error (by shard index) is
+// returned so a degraded shutdown is never reported clean.
 func (s *ShardedEngine) Close() error {
+	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
-	for _, sh := range s.shards {
+	for k, sh := range s.shards {
 		wg.Add(1)
-		go func(e *Engine) {
+		go func(k int, e *Engine) {
 			defer wg.Done()
-			e.Close()
-		}(sh.eng)
+			errs[k] = e.Close()
+		}(k, sh.eng)
 	}
 	wg.Wait()
-	return s.teardown()
+	var firstErr error
+	for k, err := range errs {
+		if err != nil {
+			firstErr = fmt.Errorf("server: shard %d: %w", k, err)
+			break
+		}
+	}
+	if err := s.teardown(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Crash stops every shard's writer loop without committing — the multi-

@@ -77,6 +77,36 @@ func TestDiscoverShards(t *testing.T) {
 	}
 }
 
+// A crash mid-Sync leaves <shard>.tmp staging files behind; discovery must
+// count shards past them instead of refusing the layout as unrecognized.
+func TestDiscoverShardsIgnoresStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	pool := filepath.Join(dir, "kv.pool")
+	touch := func(p string) {
+		t.Helper()
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	touch(pool + ".shard-0")
+	touch(pool + ".shard-1")
+	touch(pool + ".shard-0.tmp")
+	if n, err := DiscoverShards(pool); n != 2 || err != nil {
+		t.Fatalf("2 shards + stale temp: %d %v", n, err)
+	}
+	// Only litter, no shards: nothing to discover.
+	if err := os.Remove(pool + ".shard-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(pool + ".shard-1"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := DiscoverShards(pool); n != 0 || err != nil {
+		t.Fatalf("temp only: %d %v", n, err)
+	}
+}
+
 func TestShardedBasicOpsAndMergedStats(t *testing.T) {
 	eng := newSharded(t, "", 4, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
 	defer eng.Close()

@@ -11,10 +11,30 @@ import (
 // ErrClientClosed is returned by calls on a closed client.
 var ErrClientClosed = errors.New("wire: client closed")
 
-// ServerError is a StatusError reply decoded into a Go error.
-type ServerError struct{ Msg string }
+// ErrServerBusy matches (via errors.Is) a ServerError carrying StatusBusy:
+// the server shed the request under backpressure and the caller may retry.
+var ErrServerBusy = errors.New("wire: server busy")
 
-func (e *ServerError) Error() string { return "paxserve: " + e.Msg }
+// ServerError is a failure reply (StatusError or StatusBusy) decoded into a
+// Go error. Status preserves the wire status so callers branch on it — not
+// on the message text, which is advisory.
+type ServerError struct {
+	Status byte
+	Msg    string
+}
+
+func (e *ServerError) Error() string {
+	if e.Status == StatusBusy {
+		return "paxserve: busy: " + e.Msg
+	}
+	return "paxserve: " + e.Msg
+}
+
+// Is reports errors.Is(err, ErrServerBusy) for busy replies, so callers can
+// test retryability without unwrapping to the concrete type.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrServerBusy && e.Status == StatusBusy
+}
 
 // Client is a paxserve connection. It is safe for concurrent use and
 // pipelines: each caller writes its frame and queues a reply slot, then
@@ -143,8 +163,8 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if r.err != nil {
 		return Response{}, r.err
 	}
-	if r.resp.Status == StatusError {
-		return Response{}, &ServerError{Msg: string(r.resp.Body)}
+	if r.resp.Status == StatusError || r.resp.Status == StatusBusy {
+		return Response{}, &ServerError{Status: r.resp.Status, Msg: string(r.resp.Body)}
 	}
 	return r.resp, nil
 }

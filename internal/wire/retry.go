@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file is the resilient client: a Client wrapper that retries the
+// retryable failures — StatusBusy backpressure replies and transport errors
+// (with a reconnect) — under a bounded exponential backoff, and fails fast on
+// everything else. Retrying is safe for this protocol because every request
+// is idempotent: GET/STATS/PERSIST read or force state, and re-sending the
+// same PUT or DELETE converges to the same durable outcome. A StatusError
+// reply is never retried: it means the request itself is bad or the owning
+// shard sealed after a durability failure, and hammering a sealed shard
+// cannot bring it back.
+
+// RetryPolicy bounds the retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per operation, first included
+	// (default 4).
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling per retry
+	// (default 5ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 250ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	return p
+}
+
+// RetryClient is a Client with retry, backoff, and reconnect. It is safe for
+// concurrent use; callers share one underlying pipelined connection, which is
+// replaced (once) when a transport error invalidates it.
+type RetryClient struct {
+	addr   string
+	policy RetryPolicy
+	dial   func(addr string) (*Client, error)
+
+	mu     sync.Mutex
+	c      *Client // nil between a transport failure and the next reconnect
+	closed bool
+}
+
+// DialRetry connects to a paxserve at addr with retry semantics. The initial
+// dial is eager so configuration errors surface immediately.
+func DialRetry(addr string, policy RetryPolicy) (*RetryClient, error) {
+	r := &RetryClient{addr: addr, policy: policy.withDefaults(), dial: Dial}
+	c, err := r.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.c = c
+	return r, nil
+}
+
+// NewRetryClient wraps an already-built Client (tests use net.Pipe pairs).
+// With a nil dialer the client cannot reconnect: a transport error fails the
+// operation after exhausting in-place retries.
+func NewRetryClient(c *Client, policy RetryPolicy, dial func(addr string) (*Client, error)) *RetryClient {
+	return &RetryClient{policy: policy.withDefaults(), dial: dial, c: c}
+}
+
+// client returns the live connection, reconnecting if the previous one was
+// invalidated by a transport error.
+func (r *RetryClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClientClosed
+	}
+	if r.c != nil {
+		return r.c, nil
+	}
+	if r.dial == nil {
+		return nil, errors.New("wire: connection lost and no dialer configured")
+	}
+	c, err := r.dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	r.c = c
+	return c, nil
+}
+
+// invalidate drops failed so the next attempt reconnects. Another caller may
+// have reconnected already; only the connection that actually failed is
+// dropped.
+func (r *RetryClient) invalidate(failed *Client) {
+	r.mu.Lock()
+	if r.c == failed {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	_ = failed.Close()
+}
+
+// Close tears down the underlying connection; subsequent calls fail with
+// ErrClientClosed.
+func (r *RetryClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	c := r.c
+	r.c = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// do runs one request through the retry loop.
+func (r *RetryClient) do(req Request) (Response, error) {
+	backoff := r.policy.Backoff
+	var lastErr error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > r.policy.MaxBackoff {
+				backoff = r.policy.MaxBackoff
+			}
+		}
+		c, err := r.client()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return Response{}, err
+			}
+			lastErr = err // dial failure: retryable, the server may be back
+			continue
+		}
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var se *ServerError
+		if errors.As(err, &se) {
+			if se.Status != StatusBusy {
+				return Response{}, err // bad request or sealed shard: final
+			}
+			continue // busy: the connection is healthy, just back off
+		}
+		// Transport error (or our conn was closed under us): reconnect.
+		r.invalidate(c)
+	}
+	return Response{}, lastErr
+}
+
+// Get is Client.Get with retry.
+func (r *RetryClient) Get(key []byte) (value []byte, ok bool, err error) {
+	resp, err := r.do(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Body, true, nil
+}
+
+// Put is Client.Put with retry. Re-sending the same key=value after an
+// ambiguous transport failure is idempotent, so a retried PUT that was in
+// fact already applied just re-acks.
+func (r *RetryClient) Put(key, value []byte) (epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpPut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return DecodeEpoch(resp.Body), nil
+}
+
+// Delete is Client.Delete with retry. After an ambiguous failure the retried
+// DELETE may observe found=false because the first send already removed the
+// key; the end state is identical.
+func (r *RetryClient) Delete(key []byte) (found bool, epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Status != StatusNotFound, DecodeEpoch(resp.Body), nil
+}
+
+// Persist is Client.Persist with retry.
+func (r *RetryClient) Persist() (epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpPersist})
+	if err != nil {
+		return 0, err
+	}
+	return DecodeEpoch(resp.Body), nil
+}
+
+// Stats is Client.Stats with retry.
+func (r *RetryClient) Stats() (string, error) {
+	resp, err := r.do(Request{Op: OpStats})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Body), nil
+}

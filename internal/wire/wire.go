@@ -54,11 +54,17 @@ const (
 	OpStats   byte = 5
 )
 
-// Response statuses.
+// Response statuses. StatusBusy is the retryable subset of failure: the
+// server's request queue stayed full past its enqueue timeout (backpressure),
+// so the same request may well succeed in a moment. StatusError is
+// non-retryable from the protocol's point of view — bad request, or a server
+// whose shard sealed after a durability failure. Clients key retry decisions
+// off the status byte, never off the error message text.
 const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
 	StatusError    byte = 2
+	StatusBusy     byte = 3
 )
 
 // MaxFrame is the largest frame either side accepts. It bounds per-request

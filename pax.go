@@ -222,27 +222,35 @@ func MapPool(path string, opts Options) (*Pool, error) {
 // Persist makes everything written since the previous Persist durable as one
 // atomic snapshot (§3.3). No goroutine may be mutating pool structures
 // during the call (§3.5).
-func (p *Pool) Persist() PersistStats {
-	rep := p.inner.Persist()
+//
+// A non-nil error is a durability failure: the backing medium refused the
+// image (EIO, ENOSPC, a dead disk), the snapshot is NOT durable, and after a
+// restart the pool recovers to the previous successful Persist. Callers
+// serving clients must not ack any write from the failed epoch. Retrying
+// Persist is legal — a later successful call makes everything up to it
+// durable. The stats are returned either way for their timing fields.
+func (p *Pool) Persist() (PersistStats, error) {
+	rep, err := p.inner.Persist()
 	return PersistStats{
 		Epoch:            rep.Epoch,
 		LinesSnooped:     rep.LinesSnooped,
 		LinesWritten:     rep.LinesWritten,
 		SimulatedLatency: rep.Done,
-	}
+	}, err
 }
 
 // PersistAsync is the §6 non-blocking persist: the snapshot point is now,
 // but the calling thread does not wait for the device to finish committing.
-// A later Persist or Close fully serializes.
-func (p *Pool) PersistAsync() PersistStats {
-	rep := p.inner.PersistPipelined()
+// A later Persist or Close fully serializes. Errors mean the same thing as
+// for Persist: the epoch is not durable on media.
+func (p *Pool) PersistAsync() (PersistStats, error) {
+	rep, err := p.inner.PersistPipelined()
 	return PersistStats{
 		Epoch:            rep.Epoch,
 		LinesSnooped:     rep.LinesSnooped,
 		LinesWritten:     rep.LinesWritten,
 		SimulatedLatency: rep.Done,
-	}
+	}, err
 }
 
 // Recovery reports what opening this pool repaired (zero after CreatePool).

@@ -30,7 +30,10 @@ func TestListing1Workflow(t *testing.T) {
 		t.Fatalf("Get = %q %v", v, ok)
 	}
 	m.Put([]byte("2"), []byte("200"))
-	st := pool.Persist()
+	st, err := pool.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Epoch == 0 || st.SimulatedLatency <= 0 {
 		t.Fatalf("persist stats %+v", st)
 	}
@@ -198,7 +201,10 @@ func TestPersistAsync(t *testing.T) {
 	m, _ := pax.NewMap(pool, 0)
 	for round := 0; round < 5; round++ {
 		m.Put([]byte{byte(round)}, []byte{byte(round)})
-		st := pool.PersistAsync()
+		st, err := pool.PersistAsync()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if st.Epoch == 0 {
 			t.Fatal("no epoch in async persist stats")
 		}

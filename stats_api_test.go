@@ -22,7 +22,10 @@ func TestPoolStatsSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := pool.Persist()
+	st, err := pool.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	s := pool.Stats()
 	if s.DevicePersists == 0 || s.DeviceLogAppends == 0 || s.HostUpgrades == 0 {
