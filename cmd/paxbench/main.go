@@ -175,10 +175,11 @@ func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLa
 		return err
 	}
 
-	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s")
+	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms")
 	for _, res := range results {
 		t.AddRowf(res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
-			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput)
+			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput,
+			float64(res.AckP50.Microseconds())/1e3, float64(res.AckP99.Microseconds())/1e3)
 	}
 	fmt.Println(t.String())
 	for _, res := range results {

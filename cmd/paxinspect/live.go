@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pax/internal/server"
+	"pax/internal/wire"
+)
+
+// Live mode: instead of reading a pool file's raw bytes, connect to a running
+// paxserve and poll its STATS (-stats) or TRACE (-trace) wire commands. With
+// -interval > 0 the poll repeats until interrupted; otherwise it runs once.
+
+func runLive(addr string, trace bool, interval time.Duration) {
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paxinspect: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	for {
+		if trace {
+			err = printTrace(cl)
+		} else {
+			err = printStats(cl)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxinspect: %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		if interval <= 0 {
+			return
+		}
+		time.Sleep(interval)
+		fmt.Println()
+	}
+}
+
+func printStats(cl *wire.Client) error {
+	text, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- stats @ %s --\n%s", time.Now().Format(time.RFC3339), text)
+	return nil
+}
+
+func printTrace(cl *wire.Client) error {
+	body, err := cl.Trace()
+	if err != nil {
+		return err
+	}
+	var snap server.TraceSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decoding TRACE reply: %w", err)
+	}
+	fmt.Printf("-- trace @ %s: %d shard(s), slow threshold %s --\n",
+		time.Now().Format(time.RFC3339), snap.Shards, time.Duration(snap.SlowThresholdNS))
+	printRecords("recent commits", snap.Recent)
+	printRecords("pinned outliers (slow or failed)", snap.Slow)
+	return nil
+}
+
+func printRecords(title string, recs []server.CommitRecord) {
+	fmt.Printf("%s: %d\n", title, len(recs))
+	if len(recs) == 0 {
+		return
+	}
+	fmt.Printf("  %5s %5s %6s %5s %7s %10s %10s %10s %10s  %s\n",
+		"shard", "seq", "epoch", "batch", "retries", "seal", "persist", "ack", "total", "err")
+	for _, r := range recs {
+		errText := r.Err
+		if errText == "" {
+			errText = "-"
+		}
+		fmt.Printf("  %5d %5d %6d %5d %7d %10s %10s %10s %10s  %s\n",
+			r.Shard, r.Seq, r.Epoch, r.Batch, r.Retries,
+			fmtNS(r.SealNS), fmtNS(r.PersistNS), fmtNS(r.AckNS), fmtNS(r.TotalNS), errText)
+	}
+}
+
+// fmtNS renders nanoseconds compactly (fixed units read better than
+// Duration's adaptive unit soup in a fixed-width table).
+func fmtNS(ns int64) string {
+	if ns < 10_000_000 {
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+}

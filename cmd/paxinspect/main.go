@@ -3,9 +3,16 @@
 // slots. It opens the media read-only and performs no recovery, so it shows
 // exactly what a post-crash observer would find.
 //
+// It also has a live mode against a running paxserve: -stats polls the
+// server's STATS wire command (the metrics registry, latency quantiles
+// included) and -trace polls TRACE (the commit flight recorder) and renders
+// the per-commit stage timings as a table. -interval repeats the poll.
+//
 // Usage:
 //
 //	paxinspect -pool ./ht.pool [-entries 20]
+//	paxinspect -stats 127.0.0.1:7421 [-interval 2s]
+//	paxinspect -trace 127.0.0.1:7421 [-interval 2s]
 package main
 
 import (
@@ -33,12 +40,23 @@ func u32(b []byte, off uint64) uint32 { return binary.LittleEndian.Uint32(b[off:
 
 func main() {
 	var (
-		path    = flag.String("pool", "", "pool file to inspect")
-		entries = flag.Int("entries", 10, "max undo-log entries to print")
+		path     = flag.String("pool", "", "pool file to inspect")
+		entries  = flag.Int("entries", 10, "max undo-log entries to print")
+		statsAt  = flag.String("stats", "", "poll a running paxserve's STATS at this address instead of reading a file")
+		traceAt  = flag.String("trace", "", "poll a running paxserve's TRACE (commit flight recorder) at this address")
+		interval = flag.Duration("interval", 0, "with -stats/-trace: repeat the poll at this period (0 = once)")
 	)
 	flag.Parse()
+	if *statsAt != "" && *traceAt != "" {
+		fmt.Fprintln(os.Stderr, "paxinspect: -stats and -trace are mutually exclusive")
+		os.Exit(2)
+	}
+	if addr := *statsAt + *traceAt; addr != "" {
+		runLive(addr, *traceAt != "", *interval)
+		return
+	}
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "paxinspect: -pool is required")
+		fmt.Fprintln(os.Stderr, "paxinspect: -pool is required (or -stats/-trace for live mode)")
 		os.Exit(2)
 	}
 	img, err := os.ReadFile(*path)

@@ -9,6 +9,14 @@
 //	paxserve -pool ./kv.pool -addr :7421
 //	paxserve -pool ./kv.pool -overwrite      # reformat an existing pool
 //	paxserve -pool ./kv.pool -shards 4       # partition the keyspace 4 ways
+//	paxserve -pool ./kv.pool -debug-addr 127.0.0.1:7422   # HTTP observability
+//
+// -debug-addr starts an HTTP observability plane on a second listener:
+// /metrics renders the merged metrics registry (counters, gauges, and the
+// commit/GET latency quantiles) as `name value` text, /trace returns the
+// commit flight recorder as JSON, and /debug/pprof/ exposes the standard Go
+// profiler. The plane is unauthenticated — keep it on localhost or an
+// operator network.
 //
 // With -shards N > 1 the keyspace is hash-partitioned across N pool files
 // (kv.pool.shard-0 … kv.pool.shard-N-1), each with its own writer loop,
@@ -63,6 +71,9 @@ func main() {
 		slot      = flag.Int("root", 0, "pool root slot holding the served map")
 		retries   = flag.Int("commit-retries", 3, "persist retries per group commit before the shard seals fail-stop (-1 disables)")
 		retryDly  = flag.Duration("commit-retry-delay", 2*time.Millisecond, "wait before the first commit retry, doubling per attempt")
+		debugAddr = flag.String("debug-addr", "", "HTTP observability listener serving /metrics, /trace, and /debug/pprof/ (unauthenticated — bind to localhost; empty disables)")
+		slowCmt   = flag.Duration("slow-commit", server.DefaultSlowCommit, "pin group commits slower than this in the flight recorder (negative disables pinning)")
+		traceN    = flag.Int("trace-depth", server.DefaultTraceDepth, "flight recorder depth in commits, per shard")
 	)
 	flag.Parse()
 	if *poolPath == "" {
@@ -122,6 +133,8 @@ func main() {
 		QueuedReads:      *queued,
 		CommitRetries:    *retries,
 		CommitRetryDelay: *retryDly,
+		SlowCommit:       *slowCmt,
+		TraceDepth:       *traceN,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
@@ -141,6 +154,16 @@ func main() {
 	}
 	srv := server.NewServer(eng)
 	srv.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	if *debugAddr != "" {
+		dlis, err := startDebug(*debugAddr, eng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer dlis.Close()
+		fmt.Printf("paxserve: debug plane on http://%s (/metrics /trace /debug/pprof/)\n", dlis.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

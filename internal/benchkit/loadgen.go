@@ -67,6 +67,12 @@ type LoadResult struct {
 	// OpsThroughput is total acked ops (writes + reads) per wall second —
 	// the figure of merit for mixed read/write sweeps.
 	OpsThroughput float64
+	// AckP50/P95/P99 are client-observed per-write ack latency quantiles:
+	// Put call to durable-ack return, so they include queue wait, the group-
+	// commit window, the persist, and the modeled media latency — the
+	// latency a serving client actually experiences, as opposed to the
+	// server-side per-stage histograms in the metrics registry.
+	AckP50, AckP95, AckP99 time.Duration
 	// Metrics is the merged engine+pool metrics summary (per-shard gauges
 	// carry a {shard="K"} suffix; plain names are cross-shard sums),
 	// sampled safely after the engines close.
@@ -92,6 +98,9 @@ type LoadJSON struct {
 	WallMillis        float64 `json:"wall_ms"`
 	AckedWritesPerSec float64 `json:"acked_writes_per_sec"`
 	AckedOpsPerSec    float64 `json:"acked_ops_per_sec"`
+	AckP50Micros      float64 `json:"ack_p50_us"`
+	AckP95Micros      float64 `json:"ack_p95_us"`
+	AckP99Micros      float64 `json:"ack_p99_us"`
 }
 
 // JSON converts the result to its machine-readable record.
@@ -120,6 +129,9 @@ func (r LoadResult) JSON() LoadJSON {
 		WallMillis:        float64(r.Wall.Microseconds()) / 1e3,
 		AckedWritesPerSec: r.Throughput,
 		AckedOpsPerSec:    r.OpsThroughput,
+		AckP50Micros:      float64(r.AckP50.Nanoseconds()) / 1e3,
+		AckP95Micros:      float64(r.AckP95.Nanoseconds()) / 1e3,
+		AckP99Micros:      float64(r.AckP99.Nanoseconds()) / 1e3,
 	}
 }
 
@@ -156,7 +168,10 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		value[i] = byte('a' + i%26)
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		ackLat stats.LatencyHistogram // shared; it is lock-free by design
+	)
 	errs := make(chan error, spec.Clients)
 	for c := 0; c < spec.Clients; c++ {
 		wg.Add(1)
@@ -183,10 +198,12 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				}
 				key := []byte(fmt.Sprintf("c%04d-%06d", c, wrote))
 				wrote++
+				t0 := time.Now()
 				if _, err := eng.Put(key, value); err != nil {
 					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 					return
 				}
+				ackLat.Since(t0)
 				if spec.ReadRatio == 0 && spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
 					if _, ok, err := eng.Get(key); err != nil || !ok {
 						errs <- fmt.Errorf("client %d read-back %s: ok=%v err=%v", c, key, ok, err)
@@ -212,6 +229,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if err != nil {
 		return LoadResult{}, err
 	}
+	ack := ackLat.Snapshot()
 	res := LoadResult{
 		Spec:         spec,
 		AckedWrites:  agg.AckedWrites,
@@ -220,6 +238,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		BatchMax:     agg.BatchMax,
 		Wall:         wall,
 		Metrics:      metrics,
+		AckP50:       time.Duration(ack.Quantile(0.50)),
+		AckP95:       time.Duration(ack.Quantile(0.95)),
+		AckP99:       time.Duration(ack.Quantile(0.99)),
 	}
 	if res.GroupCommits > 0 {
 		res.Amortization = float64(res.AckedWrites) / float64(res.GroupCommits)
@@ -263,7 +284,7 @@ func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 	// flight at a time, and shards overlap theirs — the scaling the
 	// tentpole exists to buy.
 	shardsTable := stats.NewTable("loadgen: sharded serving vs shard count (256 clients, 2ms media commit)",
-		"shards", "acked writes", "snapshots", "writes/snapshot", "wall ms", "writes/s", "speedup")
+		"shards", "acked writes", "snapshots", "writes/snapshot", "wall ms", "writes/s", "speedup", "p99 ack ms")
 	var base float64
 	for _, shards := range []int{1, 2, 4, 8} {
 		res, err := RunLoad(LoadSpec{
@@ -287,7 +308,8 @@ func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 			speedup = res.Throughput / base
 		}
 		shardsTable.AddRowf(shards, res.AckedWrites, res.GroupCommits,
-			res.Amortization, float64(res.Wall.Milliseconds()), res.Throughput, speedup)
+			res.Amortization, float64(res.Wall.Milliseconds()), res.Throughput, speedup,
+			float64(res.AckP99.Microseconds())/1e3)
 	}
 
 	// The GET-heavy sweep is the read-path A/B: 95% GETs, commit-latency-

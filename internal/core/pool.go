@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"pax/internal/alloc"
 	"pax/internal/cache"
@@ -26,6 +27,7 @@ import (
 	"pax/internal/memory"
 	"pax/internal/pmem"
 	"pax/internal/sim"
+	"pax/internal/stats"
 	"pax/internal/undolog"
 	"pax/internal/vpm"
 )
@@ -101,6 +103,21 @@ type Pool struct {
 	rootTable         uint64
 
 	recovered RecoveryReport
+	timings   PersistTimings
+}
+
+// PersistTimings are per-stage persist latencies, recorded on every Persist /
+// PersistPipelined call. DeviceNS and SyncNS are wall-clock nanoseconds — the
+// real time the serving host spends in each stage, which is what a latency
+// budget for the group-commit engine is made of. LogWaitPS is the *simulated*
+// picoseconds the device stalled waiting for undo-log durability (the §3.3
+// asynchronous-logging claim: this should stay near zero when logging keeps
+// up with the mutation rate). Histograms are lock-free and safe to sample
+// concurrently with a persist in flight.
+type PersistTimings struct {
+	DeviceNS  stats.LatencyHistogram // snoop + log wait + write-back (device side)
+	SyncNS    stats.LatencyHistogram // media commit (pmem.Sync, all stages)
+	LogWaitPS stats.LatencyHistogram // simulated undo-durability stall
 }
 
 func headerField(pm *pmem.Device, off uint64) uint64 {
@@ -292,6 +309,9 @@ func (p *Pool) DataSize() uint64 { return p.dataSize }
 // Recovery reports what Open repaired (zero-valued after Create).
 func (p *Pool) Recovery() RecoveryReport { return p.recovered }
 
+// Timings exposes the persist-stage latency histograms.
+func (p *Pool) Timings() *PersistTimings { return &p.timings }
+
 // Epoch reports the current (not yet durable) epoch.
 func (p *Pool) Epoch() uint64 { return p.dev.Epoch() }
 
@@ -331,12 +351,17 @@ func (p *Pool) Root(slot int) uint64 {
 // makes everything up to it durable. The report is returned either way for
 // its timing fields.
 func (p *Pool) Persist() (device.PersistReport, error) {
+	devStart := time.Now()
 	core0 := p.hier.Core(0)
 	rep := p.dev.Persist(core0.Now())
 	core0.Clock().AdvanceTo(rep.Done)
+	p.timings.DeviceNS.Since(devStart)
+	p.timings.LogWaitPS.Observe(int64(rep.LogWaited))
+	syncStart := time.Now()
 	if err := p.pm.Sync(); err != nil {
 		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
+	p.timings.SyncNS.Since(syncStart)
 	return rep, nil
 }
 
@@ -347,12 +372,17 @@ func (p *Pool) Persist() (device.PersistReport, error) {
 // the call (the snapshot point is the call itself), and a non-nil error
 // means the epoch is not durable on media (see Persist).
 func (p *Pool) PersistPipelined() (device.PersistReport, error) {
+	devStart := time.Now()
 	core0 := p.hier.Core(0)
 	rep, release := p.dev.PersistPipelined(core0.Now())
 	core0.Clock().AdvanceTo(release)
+	p.timings.DeviceNS.Since(devStart)
+	p.timings.LogWaitPS.Observe(int64(rep.LogWaited))
+	syncStart := time.Now()
 	if err := p.pm.Sync(); err != nil {
 		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
+	p.timings.SyncNS.Since(syncStart)
 	return rep, nil
 }
 

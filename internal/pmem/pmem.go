@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pax/internal/sim"
 	"pax/internal/stats"
@@ -144,6 +145,23 @@ type Device struct {
 	// Stats.
 	Reads, Writes           stats.Counter
 	BytesRead, BytesWritten stats.Counter
+
+	// SyncTimings are the media-commit stage latencies (see SyncTimings).
+	SyncTimings SyncTimings
+}
+
+// SyncTimings are wall-clock nanosecond histograms of Sync's durability
+// stages, recorded per call: staging the image into the temp file, fsyncing
+// it, renaming it over the pool file, fsyncing the directory, and the whole
+// Sync. They answer "where does a media commit spend its time" — the repro's
+// analogue of the per-stage persist breakdowns NearPM and Snapshot report.
+// The histograms are lock-free; sampling them never blocks a commit.
+type SyncTimings struct {
+	WriteImage stats.LatencyHistogram // write the staged temp image
+	FileSync   stats.LatencyHistogram // fsync the temp file
+	Rename     stats.LatencyHistogram // publish via rename
+	DirSync    stats.LatencyHistogram // fsync the directory
+	Total      stats.LatencyHistogram // full Sync, all stages
 }
 
 // New returns an in-memory device.
@@ -308,10 +326,12 @@ func (d *Device) faultAt(op FaultOp) error {
 // (at the FaultFileSync stage), so durability failures can be injected
 // without file backing.
 func (d *Device) Sync() error {
+	start := time.Now()
 	if d.path == "" {
 		if err := d.faultAt(FaultFileSync); err != nil {
 			return fmt.Errorf("pmem: sync: %w", err)
 		}
+		d.SyncTimings.Total.Since(start)
 		return nil
 	}
 	d.mu.Lock()
@@ -323,6 +343,7 @@ func (d *Device) Sync() error {
 		os.Remove(tmp) // best effort; Open clears leftovers too
 		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
 	}
+	renameStart := time.Now()
 	if err := d.faultAt(FaultRename); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("pmem: sync %s: rename: %w", d.path, err)
@@ -331,15 +352,20 @@ func (d *Device) Sync() error {
 		os.Remove(tmp)
 		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
 	}
+	d.SyncTimings.Rename.Since(renameStart)
+	dirStart := time.Now()
 	if err := d.syncDir(); err != nil {
 		return fmt.Errorf("pmem: sync %s: directory: %w", d.path, err)
 	}
+	d.SyncTimings.DirSync.Since(dirStart)
+	d.SyncTimings.Total.Since(start)
 	return nil
 }
 
 // writeImage stages the image into tmp and fsyncs it, so every byte is on
 // media before the rename can expose the file under the pool's name.
 func (d *Device) writeImage(tmp string, image []byte) error {
+	writeStart := time.Now()
 	if err := d.faultAt(FaultWriteImage); err != nil {
 		return err
 	}
@@ -351,6 +377,8 @@ func (d *Device) writeImage(tmp string, image []byte) error {
 		f.Close()
 		return err
 	}
+	d.SyncTimings.WriteImage.Since(writeStart)
+	fsyncStart := time.Now()
 	if err := d.faultAt(FaultFileSync); err != nil {
 		f.Close()
 		return err
@@ -359,6 +387,7 @@ func (d *Device) writeImage(tmp string, image []byte) error {
 		f.Close()
 		return err
 	}
+	d.SyncTimings.FileSync.Since(fsyncStart)
 	return f.Close()
 }
 

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -87,6 +88,14 @@ type Config struct {
 	// CommitRetryDelay is the wait before the first commit retry, doubling
 	// per attempt (default 2ms).
 	CommitRetryDelay time.Duration
+	// SlowCommit is the flight-recorder pin threshold: a group commit slower
+	// than this end to end (or one that failed) is copied to the pinned
+	// outlier ring so it survives after the recent ring wraps (default 10ms;
+	// negative disables pinning — failed commits are still pinned).
+	SlowCommit time.Duration
+	// TraceDepth is the flight recorder's recent-ring size in commits
+	// (default 256). The pinned ring is DefaultSlowDepth deep.
+	TraceDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +120,15 @@ func (c Config) withDefaults() Config {
 	if c.CommitRetryDelay <= 0 {
 		c.CommitRetryDelay = 2 * time.Millisecond
 	}
+	switch {
+	case c.SlowCommit == 0:
+		c.SlowCommit = DefaultSlowCommit
+	case c.SlowCommit < 0:
+		c.SlowCommit = 0
+	}
+	if c.TraceDepth <= 0 {
+		c.TraceDepth = DefaultTraceDepth
+	}
 	return c
 }
 
@@ -123,6 +141,7 @@ const (
 	opPersist
 	opStats
 	opSnapshot
+	opTrace
 )
 
 type result struct {
@@ -182,6 +201,22 @@ type EngineStats struct {
 	// engine, so CommitFailures is effectively 0 or 1).
 	CommitRetries  stats.Counter
 	CommitFailures stats.Counter
+
+	// Commit-pipeline latency histograms (wall-clock nanoseconds), one per
+	// stage of a group commit: how long an enqueue waited for queue space
+	// (0 on the uncontended fast path), how long the batch stayed open
+	// collecting company, the persist itself (retries and modeled media
+	// latency included), the ack fan-out, and the whole batch end to end.
+	EnqueueWaitNS stats.LatencyHistogram
+	BatchSealNS   stats.LatencyHistogram
+	PersistNS     stats.LatencyHistogram
+	AckNS         stats.LatencyHistogram
+	CommitNS      stats.LatencyHistogram
+
+	// GET service time, split by read-index hit/miss (queued reads land in
+	// the same pair, classified by whether the key was found).
+	GetHitNS  stats.LatencyHistogram
+	GetMissNS stats.LatencyHistogram
 }
 
 // Engine is the concurrent serving engine over one pool. All methods are
@@ -211,6 +246,7 @@ type Engine struct {
 	wg    sync.WaitGroup
 	stats EngineStats
 	reg   *stats.Registry
+	rec   *flightRecorder
 }
 
 // New builds an engine serving the map rooted at slot of pool and starts its
@@ -230,6 +266,7 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 		idx:  newReadIndex(),
 		stop: make(chan struct{}),
 	}
+	e.rec = newFlightRecorder(e.cfg.TraceDepth, DefaultSlowDepth, e.cfg.SlowCommit)
 	kv.ForEach(func(key, value []byte) bool {
 		// ForEach hands out fresh copies, so the index can keep them.
 		s := e.idx.stripe(key)
@@ -249,6 +286,13 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	e.reg.RegisterCounter("paxserve_read_index_rebuilt", &e.stats.ReadIndexRebuilt)
 	e.reg.RegisterCounter("paxserve_commit_retries", &e.stats.CommitRetries)
 	e.reg.RegisterCounter("paxserve_commit_failures", &e.stats.CommitFailures)
+	e.reg.RegisterLatencyHistogram("paxserve_enqueue_wait_ns", &e.stats.EnqueueWaitNS)
+	e.reg.RegisterLatencyHistogram("paxserve_batch_seal_ns", &e.stats.BatchSealNS)
+	e.reg.RegisterLatencyHistogram("paxserve_commit_persist_ns", &e.stats.PersistNS)
+	e.reg.RegisterLatencyHistogram("paxserve_commit_ack_ns", &e.stats.AckNS)
+	e.reg.RegisterLatencyHistogram("paxserve_commit_ns", &e.stats.CommitNS)
+	e.reg.RegisterLatencyHistogram("paxserve_get_hit_ns", &e.stats.GetHitNS)
+	e.reg.RegisterLatencyHistogram("paxserve_get_miss_ns", &e.stats.GetMissNS)
 	e.reg.Register("paxserve_sealed", func() float64 {
 		if e.SealErr() != nil {
 			return 1
@@ -280,6 +324,18 @@ func (r *request) finish(res result) { r.done <- res }
 // inline from the read index, which is what lets the TCP server resolve a
 // pipelined GET without serializing it behind the connection's PUT acks.
 func (e *Engine) begin(req *request) error {
+	if req.op == opTrace {
+		// Answered inline from the recorder's own mutex — never through the
+		// queue — so a sealed or crashed engine still serves its trace, which
+		// is exactly when the trace matters most.
+		buf, err := json.Marshal(e.rec.snapshot())
+		if err != nil {
+			req.finish(result{err: err})
+			return nil
+		}
+		req.finish(result{value: buf})
+		return nil
+	}
 	if req.op == opGet && !e.cfg.QueuedReads {
 		v, ok, err := e.Get(req.key)
 		if err != nil {
@@ -308,13 +364,19 @@ func (e *Engine) begin(req *request) error {
 	// pays for one.
 	select {
 	case e.reqs <- req:
+		// Observing an exact 0 keeps the fast path timer-free while the
+		// histogram's count still matches enqueues, so the p99 reflects how
+		// often the queue actually pushed back.
+		e.stats.EnqueueWaitNS.Observe(0)
 		return nil
 	default:
 	}
+	waitStart := time.Now()
 	timer := time.NewTimer(e.cfg.EnqueueTimeout)
 	defer timer.Stop()
 	select {
 	case e.reqs <- req:
+		e.stats.EnqueueWaitNS.Since(waitStart)
 		return nil
 	case <-timer.C:
 		e.stats.Rejects.Inc()
@@ -361,12 +423,15 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 		}
 		return nil, false, ErrClosed
 	}
+	t0 := time.Now()
 	v, ok := e.idx.get(key)
 	e.stats.Gets.Inc()
 	if ok {
 		e.stats.ReadIndexHits.Inc()
+		e.stats.GetHitNS.Since(t0)
 	} else {
 		e.stats.ReadIndexMisses.Inc()
+		e.stats.GetMissNS.Since(t0)
 	}
 	return v, ok, nil
 }
@@ -526,9 +591,16 @@ func (e *Engine) apply(req *request) (waiter *request) {
 	switch req.op {
 	case opGet:
 		// Only Config.QueuedReads sends GETs here; the index answers the
-		// rest in begin.
+		// rest in begin. The timing covers the pool lookup only — the queue
+		// wait a queued read pays shows up as commit latency, not here.
+		t0 := time.Now()
 		v, ok := e.kv.Get(req.key)
 		e.stats.Gets.Inc()
+		if ok {
+			e.stats.GetHitNS.Since(t0)
+		} else {
+			e.stats.GetMissNS.Since(t0)
+		}
 		req.finish(result{value: v, found: ok})
 		return nil
 	case opPut:
@@ -573,17 +645,33 @@ func (e *Engine) persistBatch() (pax.PersistStats, error) {
 // doubling backoff — retrying is legal because a failed Sync never publishes
 // a partial image, and nothing is acked until one attempt fully succeeds. If
 // every attempt fails the waiters are failed (never acked) and the error is
-// returned for the caller to seal the engine. commit(nil) is the shutdown
-// path: it seals the open epoch through this same accounting.
-func (e *Engine) commit(waiters []*request) error {
+// returned for the caller to seal the engine. batchStart and sealNS describe
+// the group-commit window that led here (batch open time and how long it
+// stayed open); commit(nil, now, 0) is the shutdown path sealing the open
+// epoch through this same accounting.
+//
+// Every call leaves exactly one CommitRecord in the flight recorder — failed
+// commits included, so the record explaining a seal is always pinned.
+func (e *Engine) commit(waiters []*request, batchStart time.Time, sealNS int64) error {
+	rec := CommitRecord{
+		Batch:  len(waiters),
+		Start:  batchStart.UnixNano(),
+		SealNS: sealNS,
+	}
+	persistStart := time.Now()
 	st, err := e.persistBatch()
 	for attempt := 0; err != nil && attempt < e.cfg.CommitRetries; attempt++ {
 		e.stats.CommitRetries.Inc()
+		rec.Retries++
 		time.Sleep(e.cfg.CommitRetryDelay << attempt)
 		st, err = e.persistBatch()
 	}
 	if err != nil {
 		e.stats.CommitFailures.Inc()
+		rec.PersistNS = int64(time.Since(persistStart))
+		rec.TotalNS = sealNS + rec.PersistNS
+		rec.Err = err.Error()
+		e.rec.record(rec)
 		failAll(waiters, fmt.Errorf("%w: %v", ErrSealed, err))
 		return err
 	}
@@ -593,18 +681,34 @@ func (e *Engine) commit(waiters []*request) error {
 		// index reads proceed throughout: the commit holds no index locks.
 		time.Sleep(e.cfg.CommitLatency)
 	}
+	// The modeled media latency counts as persist time: it is the commit
+	// being on the medium, which is what the persist stage means.
+	rec.PersistNS = int64(time.Since(persistStart))
+	rec.Epoch = st.Epoch
 	e.stats.GroupCommits.Inc()
 	if len(waiters) > 0 {
 		e.stats.BatchMax.StoreMax(uint64(len(waiters)))
 	}
+	ackStart := time.Now()
 	for _, w := range waiters {
 		if w.op != opPersist {
 			e.stats.AckedWrites.Inc()
 		}
 		w.finish(result{found: w.found, epoch: st.Epoch})
 	}
+	rec.AckNS = int64(time.Since(ackStart))
+	rec.TotalNS = sealNS + rec.PersistNS + rec.AckNS
+	e.stats.BatchSealNS.Observe(sealNS)
+	e.stats.PersistNS.Observe(rec.PersistNS)
+	e.stats.AckNS.Observe(rec.AckNS)
+	e.stats.CommitNS.Observe(rec.TotalNS)
+	e.rec.record(rec)
 	return nil
 }
+
+// Trace returns the flight recorder's current contents. Safe on a sealed,
+// crashed, or closed engine — the recorder outlives the writer loop.
+func (e *Engine) Trace() TraceSnapshot { return e.rec.snapshot() }
 
 func failAll(waiters []*request, err error) {
 	for _, w := range waiters {
@@ -630,7 +734,7 @@ func (e *Engine) loop() {
 				// the same retry budget, latency model, and accounting as
 				// any group commit. If even that fails, the engine seals and
 				// Close surfaces the error.
-				if err := e.commit(nil); err != nil {
+				if err := e.commit(nil, time.Now(), 0); err != nil {
 					e.seal(err)
 				}
 				return
@@ -645,6 +749,7 @@ func (e *Engine) loop() {
 // runBatch applies first and keeps collecting until a commit condition
 // fires, then commits. It reports false when the engine crashed mid-batch.
 func (e *Engine) runBatch(first *request) bool {
+	batchStart := time.Now()
 	var waiters []*request
 	force := first.op == opPersist
 	if w := e.apply(first); w != nil {
@@ -677,7 +782,7 @@ func (e *Engine) runBatch(first *request) bool {
 			}
 		}
 	}
-	if err := e.commit(waiters); err != nil {
+	if err := e.commit(waiters, batchStart, int64(time.Since(batchStart))); err != nil {
 		// The batch's waiters were already failed inside commit. Seal before
 		// draining: once stop is closed and inflight unwinds, nothing new can
 		// enter the queue, so the drain below is exhaustive and no queued

@@ -181,6 +181,8 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		op = opPersist
 	case wire.OpStats:
 		op = opStats
+	case wire.OpTrace:
+		op = opTrace
 	default:
 		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
 		return func() wire.Response { return resp }
@@ -219,6 +221,8 @@ func renderResponse(op byte, res result) wire.Response {
 		return wire.Response{Status: st, Body: wire.EpochBody(res.epoch)}
 	case wire.OpStats:
 		return wire.Response{Status: wire.StatusOK, Body: []byte(res.text)}
+	case wire.OpTrace:
+		return wire.Response{Status: wire.StatusOK, Body: res.value}
 	}
 	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}
 }

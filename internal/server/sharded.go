@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -233,8 +235,42 @@ func (s *ShardedEngine) begin(req *request) error {
 			req.finish(result{text: text, err: err})
 		}()
 		return nil
+	case opTrace:
+		// Recorder snapshots never touch the writer loops (each recorder has
+		// its own mutex), so this is answered inline — and keeps working with
+		// shards sealed or crashed.
+		buf, err := json.Marshal(s.Trace())
+		req.finish(result{value: buf, err: err})
+		return nil
 	}
 	return fmt.Errorf("server: unknown op %d", req.op)
+}
+
+// Trace merges every shard's flight recorder into one snapshot: records are
+// stamped with their shard index and interleaved oldest-first by batch start
+// time. Sequence numbers stay per-shard — (shard, seq) identifies a commit.
+func (s *ShardedEngine) Trace() TraceSnapshot {
+	out := TraceSnapshot{Shards: len(s.shards)}
+	for k, sh := range s.shards {
+		snap := sh.eng.Trace()
+		if snap.SlowThresholdNS > out.SlowThresholdNS {
+			out.SlowThresholdNS = snap.SlowThresholdNS
+		}
+		for i := range snap.Recent {
+			snap.Recent[i].Shard = k
+		}
+		for i := range snap.Slow {
+			snap.Slow[i].Shard = k
+		}
+		out.Recent = append(out.Recent, snap.Recent...)
+		out.Slow = append(out.Slow, snap.Slow...)
+	}
+	byStart := func(recs []CommitRecord) func(i, j int) bool {
+		return func(i, j int) bool { return recs[i].Start < recs[j].Start }
+	}
+	sort.SliceStable(out.Recent, byStart(out.Recent))
+	sort.SliceStable(out.Slow, byStart(out.Slow))
+	return out
 }
 
 // Get routes to the key's shard and serves from that shard's read index —
@@ -328,9 +364,23 @@ func (s *ShardedEngine) StatsText() (string, error) {
 
 func mergeSummaries(snaps []stats.Summary) stats.Summary {
 	merged := make(stats.Summary)
+	seenQuantile := make(map[string]bool)
 	for k, snap := range snaps {
 		label := fmt.Sprintf("{shard=%q}", strconv.Itoa(k))
 		for name, v := range snap {
+			if strings.Contains(name, `{q="`) {
+				// Histogram quantile line, e.g. name{q="p99"}: the shard tag
+				// joins the existing label set instead of forming a second
+				// brace group, and the plain name takes the max across shards
+				// — the worst shard's tail — because quantiles do not sum.
+				withShard := name[:len(name)-1] + `,shard=` + strconv.Quote(strconv.Itoa(k)) + `}`
+				merged[withShard] = v
+				if !seenQuantile[name] || v > merged[name] {
+					merged[name] = v
+				}
+				seenQuantile[name] = true
+				continue
+			}
 			merged[name+label] = v
 			merged[name] += v
 		}

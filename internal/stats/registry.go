@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -102,6 +103,14 @@ func (s Summary) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	for _, name := range names {
 		v := s[name]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A gauge dividing by a zero denominator yields NaN/±Inf, which
+			// the plain `name value` consumers (strconv.ParseFloat callers,
+			// the bench JSON) choke on — clamp to 0 rather than emit an
+			// unparseable (or platform-defined, via the int64 conversion
+			// below) line.
+			v = 0
+		}
 		var line string
 		if v == float64(int64(v)) {
 			line = fmt.Sprintf("%s %d\n", name, int64(v))

@@ -221,3 +221,14 @@ func (c *Client) Stats() (string, error) {
 	}
 	return string(resp.Body), nil
 }
+
+// Trace fetches the server's commit flight recorder as raw JSON (a
+// TraceSnapshot; the wire layer does not decode it — paxinspect and the
+// debug HTTP plane pass it through, tooling unmarshals it).
+func (c *Client) Trace() ([]byte, error) {
+	resp, err := c.roundTrip(Request{Op: OpTrace})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}

@@ -213,3 +213,12 @@ func (r *RetryClient) Stats() (string, error) {
 	}
 	return string(resp.Body), nil
 }
+
+// Trace is Client.Trace with retry.
+func (r *RetryClient) Trace() ([]byte, error) {
+	resp, err := r.do(Request{Op: OpTrace})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}

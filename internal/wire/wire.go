@@ -11,11 +11,12 @@
 //
 //	GET(1), DELETE(3):  klen:u32be key
 //	PUT(2):             klen:u32be key vlen:u32be value
-//	PERSIST(4), STATS(5): empty
+//	PERSIST(4), STATS(5), TRACE(6): empty
 //
 // Response bodies: the value for GET, the durable epoch (u64le) for PUT /
-// DELETE / PERSIST, the registry text for STATS, an error message for
-// StatusError, empty otherwise. The protocol is strictly in-order
+// DELETE / PERSIST, the registry text for STATS, the flight-recorder
+// snapshot as JSON for TRACE, an error message for StatusError, empty
+// otherwise. The protocol is strictly in-order
 // request/response per connection, which is what lets clients pipeline:
 // the k-th response on a connection always answers the k-th request.
 //
@@ -52,6 +53,7 @@ const (
 	OpDelete  byte = 3
 	OpPersist byte = 4
 	OpStats   byte = 5
+	OpTrace   byte = 6
 )
 
 // Response statuses. StatusBusy is the retryable subset of failure: the
@@ -97,6 +99,8 @@ func OpName(op byte) string {
 		return "PERSIST"
 	case OpStats:
 		return "STATS"
+	case OpTrace:
+		return "TRACE"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -156,7 +160,7 @@ func EncodeRequest(req Request) ([]byte, error) {
 	case OpPut:
 		buf = appendBytes(buf, req.Key)
 		buf = appendBytes(buf, req.Value)
-	case OpPersist, OpStats:
+	case OpPersist, OpStats, OpTrace:
 		// No body.
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
@@ -197,7 +201,7 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		if req.Value, rest, err = takeBytes(rest); err != nil {
 			return Request{}, fmt.Errorf("wire: PUT value: %w", err)
 		}
-	case OpPersist, OpStats:
+	case OpPersist, OpStats, OpTrace:
 		// No body.
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode %d", req.Op)

@@ -19,6 +19,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpDelete, Key: []byte("gone")},
 		{Op: OpPersist},
 		{Op: OpStats},
+		{Op: OpTrace},
 	}
 	var buf bytes.Buffer
 	for _, req := range reqs {

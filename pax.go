@@ -383,5 +383,19 @@ func (p *Pool) StatsRegistry() *stats.Registry {
 	gauge("pax_log_peak_live", func(s PoolStats) float64 { return float64(s.LogPeakLive) })
 	gauge("pax_log_appends_total", func(s PoolStats) float64 { return float64(s.LogAppends) })
 	gauge("pax_log_truncations_total", func(s PoolStats) float64 { return float64(s.LogTruncations) })
+
+	// Persist-stage latency histograms (lock-free; each renders as
+	// name{q="p50"…"p999"} + name_count + name_sum lines). The *_ns names are
+	// wall-clock; pax_persist_log_wait_ps is simulated picoseconds.
+	t := p.inner.Timings()
+	r.RegisterLatencyHistogram("pax_persist_device_ns", &t.DeviceNS)
+	r.RegisterLatencyHistogram("pax_persist_sync_ns", &t.SyncNS)
+	r.RegisterLatencyHistogram("pax_persist_log_wait_ps", &t.LogWaitPS)
+	st := &p.pm.SyncTimings
+	r.RegisterLatencyHistogram("pax_sync_write_image_ns", &st.WriteImage)
+	r.RegisterLatencyHistogram("pax_sync_fsync_ns", &st.FileSync)
+	r.RegisterLatencyHistogram("pax_sync_rename_ns", &st.Rename)
+	r.RegisterLatencyHistogram("pax_sync_dirsync_ns", &st.DirSync)
+	r.RegisterLatencyHistogram("pax_sync_ns", &st.Total)
 	return r
 }
