@@ -60,12 +60,32 @@ func main() {
 		shards     = flag.String("shards", "1", "loadgen: comma-separated shard counts to sweep (e.g. 1,2,4,8)")
 		readRatio  = flag.Float64("read-ratio", 0, "loadgen: fraction of ops issued as GETs against previously written keys (0 = write-heavy with periodic read-backs)")
 		queued     = flag.Bool("queued-reads", false, "loadgen: serve GETs through the writer queue (pre-read-index behavior, the read-path A/B baseline)")
+		poolDir    = flag.String("pool-dir", "", "loadgen: back the engines with pool files in this directory instead of in-memory devices (required for write-amplification sweeps)")
+		dataSizes  = flag.String("data-sizes", "", "loadgen: comma-separated per-shard vPM data sizes in bytes to sweep (e.g. 67108864,134217728; empty = the 32 MiB default)")
+		epochLog   = flag.Bool("epoch-log", false, "loadgen: persist commits through the log-structured delta epoch store instead of full-image republish")
+		epochLogAB = flag.Bool("epoch-log-ab", false, "loadgen: run every configuration in both persist modes (full-image then delta), overriding -epoch-log")
 		jsonOut    = flag.String("out", "", "loadgen: also write the JSON records to this file")
 	)
 	flag.Parse()
 
 	if *loadgen {
-		if err := runLoadgen(*shards, *clients, *ops, *maxBatch, *maxDelay, *commitLat, *readRatio, *queued, *format, *jsonOut); err != nil {
+		cfg := loadgenConfig{
+			shardList:  *shards,
+			clients:    *clients,
+			ops:        *ops,
+			maxBatch:   *maxBatch,
+			maxDelay:   *maxDelay,
+			commitLat:  *commitLat,
+			readRatio:  *readRatio,
+			queued:     *queued,
+			poolDir:    *poolDir,
+			dataSizes:  *dataSizes,
+			epochLog:   *epochLog,
+			epochLogAB: *epochLogAB,
+			format:     *format,
+			jsonOut:    *jsonOut,
+		}
+		if err := runLoadgen(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,42 +142,82 @@ func main() {
 	run(e)
 }
 
-// runLoadgen sweeps the requested shard counts and reports each run, as a
-// table plus metrics registry or as JSON records.
-func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLat time.Duration, readRatio float64, queuedReads bool, format, jsonOut string) error {
+// loadgenConfig carries the -loadgen flag set.
+type loadgenConfig struct {
+	shardList  string
+	clients    int
+	ops        int
+	maxBatch   int
+	maxDelay   time.Duration
+	commitLat  time.Duration
+	readRatio  float64
+	queued     bool
+	poolDir    string
+	dataSizes  string
+	epochLog   bool
+	epochLogAB bool
+	format     string
+	jsonOut    string
+}
+
+// runLoadgen sweeps persist mode × data size × shard count and reports each
+// run, as a table plus metrics registry or as JSON records.
+func runLoadgen(cfg loadgenConfig) error {
 	var counts []int
-	for _, f := range strings.Split(shardList, ",") {
+	for _, f := range strings.Split(cfg.shardList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n <= 0 {
 			return fmt.Errorf("bad -shards value %q (want positive ints like 1,2,4,8)", f)
 		}
 		counts = append(counts, n)
 	}
+	sizes := []uint64{0} // 0 = RunLoad's 32 MiB default
+	if cfg.dataSizes != "" {
+		sizes = nil
+		for _, f := range strings.Split(cfg.dataSizes, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad -data-sizes value %q (want positive byte counts)", f)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	modes := []bool{cfg.epochLog}
+	if cfg.epochLogAB {
+		modes = []bool{false, true}
+	}
 	var (
 		records []benchkit.LoadJSON
 		results []benchkit.LoadResult
 	)
-	for _, n := range counts {
-		spec := benchkit.LoadSpec{
-			Clients:       clients,
-			OpsPerClient:  ops,
-			ValueBytes:    64,
-			ReadRatio:     readRatio,
-			QueuedReads:   queuedReads,
-			MaxBatch:      maxBatch,
-			MaxDelay:      maxDelay,
-			Shards:        n,
-			CommitLatency: commitLat,
+	for _, epochLog := range modes {
+		for _, dataSize := range sizes {
+			for _, n := range counts {
+				spec := benchkit.LoadSpec{
+					Clients:       cfg.clients,
+					OpsPerClient:  cfg.ops,
+					ValueBytes:    64,
+					ReadRatio:     cfg.readRatio,
+					QueuedReads:   cfg.queued,
+					MaxBatch:      cfg.maxBatch,
+					MaxDelay:      cfg.maxDelay,
+					Shards:        n,
+					CommitLatency: cfg.commitLat,
+					PoolDir:       cfg.poolDir,
+					DataSize:      dataSize,
+					EpochLog:      epochLog,
+				}
+				if cfg.readRatio == 0 {
+					spec.GetEveryN = 4
+				}
+				res, err := benchkit.RunLoad(spec)
+				if err != nil {
+					return fmt.Errorf("%d shards (epochLog=%v, data=%d): %w", n, epochLog, dataSize, err)
+				}
+				records = append(records, res.JSON())
+				results = append(results, res)
+			}
 		}
-		if readRatio == 0 {
-			spec.GetEveryN = 4
-		}
-		res, err := benchkit.RunLoad(spec)
-		if err != nil {
-			return fmt.Errorf("%d shards: %w", n, err)
-		}
-		records = append(records, res.JSON())
-		results = append(results, res)
 	}
 
 	blob, err := json.MarshalIndent(records, "", "  ")
@@ -165,21 +225,26 @@ func runLoadgen(shardList string, clients, ops, maxBatch int, maxDelay, commitLa
 		return err
 	}
 	blob = append(blob, '\n')
-	if jsonOut != "" {
-		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+	if cfg.jsonOut != "" {
+		if err := os.WriteFile(cfg.jsonOut, blob, 0o644); err != nil {
 			return err
 		}
 	}
-	if format == "json" {
+	if cfg.format == "json" {
 		_, err := os.Stdout.Write(blob)
 		return err
 	}
 
-	t := stats.NewTable("loadgen", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms")
+	t := stats.NewTable("loadgen", "mode", "pool MiB", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms", "KiB/commit p99", "amp")
 	for _, res := range results {
-		t.AddRowf(res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
+		mode := "full-image"
+		if res.EpochLog {
+			mode = "delta"
+		}
+		t.AddRowf(mode, float64(res.PoolBytes)/(1<<20), res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
 			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput,
-			float64(res.AckP50.Microseconds())/1e3, float64(res.AckP99.Microseconds())/1e3)
+			float64(res.AckP50.Microseconds())/1e3, float64(res.AckP99.Microseconds())/1e3,
+			res.CommitP99Bytes/1024, res.WriteAmplification)
 	}
 	fmt.Println(t.String())
 	for _, res := range results {

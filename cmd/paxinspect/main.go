@@ -3,6 +3,12 @@
 // slots. It opens the media read-only and performs no recovery, so it shows
 // exactly what a post-crash observer would find.
 //
+// For epoch-log pools (paxserve -epoch-log) it first lists the delta
+// segments next to the file — per-segment record counts, sequence and epoch
+// ranges, and whether the newest segment ends in a torn append — then
+// replays the committed deltas in memory and dumps the reconstructed state,
+// without touching the bytes on disk.
+//
 // It also has a live mode against a running paxserve: -stats polls the
 // server's STATS wire command (the metrics registry, latency quantiles
 // included) and -trace polls TRACE (the commit flight recorder) and renders
@@ -20,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"pax/internal/epochlog"
 )
 
 // Media layout constants, mirrored from internal/core and internal/undolog
@@ -37,6 +45,73 @@ const (
 
 func u64(b []byte, off uint64) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
 func u32(b []byte, off uint64) uint32 { return binary.LittleEndian.Uint32(b[off:]) }
+
+// dumpEpochStore prints the delta segments next to an epoch-log pool, if
+// any, and replays the committed records onto img so the dump below shows
+// the reconstructed (checkpoint + deltas) state — what opening the pool
+// would see. A torn tail is reported, not fatal: it is exactly the artifact
+// a post-crash observer is here to look at. The file on disk is never
+// modified (read-only open).
+func dumpEpochStore(path string, img []byte) {
+	dir := path + epochlog.DirSuffix
+	has, err := epochlog.HasSegments(dir)
+	if err != nil {
+		fmt.Printf("  epoch store: %v\n", err)
+		return
+	}
+	if !has {
+		return
+	}
+	ckptEpoch := uint64(0)
+	if len(img) >= 64 {
+		ckptEpoch = u64(img, 56)
+	}
+	store, err := epochlog.Open(epochlog.Config{Dir: dir, ReadOnly: true})
+	if err != nil {
+		fmt.Printf("  epoch store: %s: UNREADABLE: %v\n", dir, err)
+		fmt.Printf("  (dump below shows the checkpoint image alone)\n")
+		return
+	}
+	defer store.Close()
+	info := store.Info()
+	fmt.Printf("  epoch store: %s (checkpoint epoch %d, %d committed delta(s) in %d segment(s), %d bytes)\n",
+		dir, ckptEpoch, info.Records, len(info.Segments), info.Bytes)
+	for _, seg := range info.Segments {
+		line := fmt.Sprintf("    %s: %7d bytes, %d record(s)", seg.Name, seg.Bytes, seg.Records)
+		if seg.Records > 0 {
+			line += fmt.Sprintf(", seq [%d,%d], epochs [%d,%d]",
+				seg.FirstSeq, seg.LastSeq, seg.FirstEpoch, seg.LastEpoch)
+		}
+		if seg.Dropped {
+			line += " DROPPED (covered by checkpoint)"
+		}
+		if seg.TornTail {
+			line += " TORN TAIL (uncommitted append, discarded on replay)"
+		}
+		fmt.Println(line)
+	}
+	if info.TornTail {
+		fmt.Printf("  NOTE: the newest segment ends in a torn append — the pool crashed\n")
+		fmt.Printf("        mid-commit; replay stops at seq %d (epoch %d)\n", info.LastSeq, info.LastEpoch)
+	}
+	err = store.Replay(func(rec epochlog.Record) error {
+		for _, r := range rec.Ranges {
+			end := r.Addr + uint64(len(r.Data))
+			if end > uint64(len(img)) {
+				return fmt.Errorf("record seq %d writes [%#x,%#x) beyond the %d-byte pool",
+					rec.Seq, r.Addr, end, len(img))
+			}
+			copy(img[r.Addr:end], r.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Printf("  epoch store: replay FAILED: %v\n", err)
+		fmt.Printf("  (dump below shows the state up to the failing record)\n")
+		return
+	}
+	fmt.Printf("  (dump below shows the reconstructed state: checkpoint + replayed deltas)\n")
+}
 
 func main() {
 	var (
@@ -70,6 +145,7 @@ func main() {
 	}
 
 	fmt.Printf("pool: %s (%d bytes)\n", *path, len(img))
+	dumpEpochStore(*path, img)
 	if got := u64(img, 0); got != poolMagic {
 		fmt.Printf("  INVALID pool magic %#x\n", got)
 		os.Exit(1)

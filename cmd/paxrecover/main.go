@@ -2,6 +2,16 @@
 // pool (which performs the §3.4 rollback of any unpersisted epoch) and
 // writes the repaired image back, reporting what was undone.
 //
+// Pools persisted with the epoch store (-epoch-log) are a checkpoint image
+// plus delta segments in <pool>.epochlog/. paxrecover reconstructs the
+// last committed state by replaying the committed deltas onto the
+// checkpoint (a torn tail — an append cut by a crash — is reported and
+// discarded, never an error), runs the same §3.4 rollback, and then
+// CONVERTS the pool to the plain full-image layout: the repaired image
+// replaces the file and the consumed segments are removed. Reopen the
+// converted pool with or without -epoch-log; a fresh segment directory is
+// started on the next epoch-log commit.
+//
 // Usage:
 //
 //	paxrecover -pool ./ht.pool
@@ -14,6 +24,7 @@ import (
 	"os"
 
 	"pax/internal/core"
+	"pax/internal/epochlog"
 	"pax/internal/pmem"
 	"pax/internal/sim"
 )
@@ -34,6 +45,41 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Epoch-store layout: replay the committed deltas onto the checkpoint
+	// image before handing it to core recovery. Read-only open so a dry run
+	// leaves even a torn tail untouched on disk.
+	logDir := *path + epochlog.DirSuffix
+	hasLog, err := epochlog.HasSegments(logDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paxrecover: %v\n", err)
+		os.Exit(1)
+	}
+	var logInfo epochlog.Info
+	if hasLog {
+		store, err := epochlog.Open(epochlog.Config{Dir: logDir, ReadOnly: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxrecover: epoch log: %v\n", err)
+			os.Exit(1)
+		}
+		replayErr := store.Replay(func(rec epochlog.Record) error {
+			for _, r := range rec.Ranges {
+				end := r.Addr + uint64(len(r.Data))
+				if end > uint64(len(img)) {
+					return fmt.Errorf("record seq %d writes [%#x,%#x) beyond the %d-byte pool",
+						rec.Seq, r.Addr, end, len(img))
+				}
+				copy(img[r.Addr:end], r.Data)
+			}
+			return nil
+		})
+		logInfo = store.Info()
+		store.Close()
+		if replayErr != nil {
+			fmt.Fprintf(os.Stderr, "paxrecover: epoch log replay: %v\n", replayErr)
+			os.Exit(1)
+		}
+	}
+
 	pm := pmem.New(pmem.DefaultConfig(len(img)))
 	pm.Restore(img)
 	// Geometry comes from the header; host/device config is irrelevant for
@@ -47,6 +93,26 @@ func main() {
 	}
 	rep := pool.Recovery()
 	fmt.Printf("pool:             %s\n", *path)
+	if hasLog {
+		fmt.Printf("layout:           epoch log (checkpoint + %d segment(s), %d committed delta(s))\n",
+			len(logInfo.Segments), logInfo.Records)
+		for _, seg := range logInfo.Segments {
+			line := fmt.Sprintf("  segment %s: %d record(s), seq [%d,%d], epochs [%d,%d], %d bytes",
+				seg.Name, seg.Records, seg.FirstSeq, seg.LastSeq, seg.FirstEpoch, seg.LastEpoch, seg.Bytes)
+			if seg.Dropped {
+				line += " (checkpoint-covered, skipped)"
+			}
+			if seg.TornTail {
+				line += " (torn tail discarded)"
+			}
+			fmt.Println(line)
+		}
+		if logInfo.TornTail {
+			fmt.Printf("torn tail:        yes — an append was cut by the crash; recovery uses the last committed delta\n")
+		}
+	} else {
+		fmt.Printf("layout:           full image\n")
+	}
 	fmt.Printf("durable epoch:    %d\n", rep.DurableEpoch)
 	fmt.Printf("entries scanned:  %d\n", rep.EntriesScanned)
 	fmt.Printf("lines rolled back:%d\n", rep.LinesRolledBack)
@@ -64,6 +130,17 @@ func main() {
 	if err := os.Rename(tmp, *path); err != nil {
 		fmt.Fprintf(os.Stderr, "paxrecover: %v\n", err)
 		os.Exit(1)
+	}
+	if hasLog {
+		// The repaired file now holds everything the segments held; removing
+		// them AFTER the rename means a crash here at worst leaves segments
+		// whose replay is idempotent over the repaired image.
+		if err := os.RemoveAll(logDir); err != nil {
+			fmt.Fprintf(os.Stderr, "paxrecover: removing consumed segments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("pool recovered in place (converted to full-image layout; segments removed)")
+		return
 	}
 	fmt.Println("pool recovered in place")
 }

@@ -61,6 +61,7 @@ func main() {
 		hbmSize   = flag.Int("hbm", 16<<20, "device HBM cache size in bytes (0 disables)")
 		profile   = flag.String("profile", "cxl", "device profile: cxl | enzian")
 		overwrite = flag.Bool("overwrite", false, "reformat the pool file even if it already exists")
+		epochLog  = flag.Bool("epoch-log", false, "persist commits as delta records in <pool>.epochlog/ (O(dirty) commit cost) instead of republishing the full image; reopening an epoch-log pool requires this flag")
 		maxBatch  = flag.Int("max-batch", 128, "max writes acked per group commit")
 		maxDelay  = flag.Duration("max-delay", time.Millisecond, "max wait to fill a commit batch")
 		commitLat = flag.Duration("commit-latency", 0, "modeled media latency per group commit (0 = simulator speed)")
@@ -97,6 +98,7 @@ func main() {
 		HBMSize:   *hbmSize,
 		Profile:   pax.DeviceProfile(*profile),
 		Overwrite: *overwrite,
+		EpochLog:  *epochLog,
 	}
 
 	// Resolve the shard count against what is on disk: a restart must reopen
@@ -169,8 +171,12 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(lis) }()
-	fmt.Printf("paxserve: serving %s on %s (%d shard(s), durable epoch %d, max batch %d, max delay %v)\n",
-		*poolPath, lis.Addr(), eng.NumShards(), eng.DurableEpoch(), *maxBatch, *maxDelay)
+	mode := "full-image"
+	if *epochLog {
+		mode = "epoch-log"
+	}
+	fmt.Printf("paxserve: serving %s on %s (%d shard(s), %s commits, durable epoch %d, max batch %d, max delay %v)\n",
+		*poolPath, lis.Addr(), eng.NumShards(), mode, eng.DurableEpoch(), *maxBatch, *maxDelay)
 
 	select {
 	case sig := <-sigs:

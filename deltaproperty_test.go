@@ -1,0 +1,239 @@
+package pax_test
+
+// Recovery-equivalence property tests for the epoch store: the same op
+// sequence driven through a full-image pool and an epoch-log pool, with the
+// same persist and crash schedule, must recover to byte-identical media
+// after every restart — (checkpoint + replayed deltas) IS the full image.
+// A torn final append must recover to the previous committed epoch.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pax"
+	"pax/internal/epochlog"
+)
+
+func deltaOpts() pax.Options {
+	o := smallOpts()
+	o.EpochLog = true
+	return o
+}
+
+// copyPoolState clones a pool's on-disk durable state (checkpoint file plus
+// segment directory) — the image a crash at this instant would leave.
+func copyPoolState(t *testing.T, src, dst string) {
+	t.Helper()
+	img, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcDir := src + epochlog.DirSuffix
+	entries, err := os.ReadDir(srcDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst+epochlog.DirSuffix, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst+epochlog.DirSuffix, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEpochLogMatchesFullImageAcrossRestarts(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			fullPath := filepath.Join(dir, "full.pool")
+			deltaPath := filepath.Join(dir, "delta.pool")
+
+			full, err := pax.MapPool(fullPath, smallOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			delta, err := pax.MapPool(deltaPath, deltaOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := pax.NewMap(full, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := pax.NewMap(delta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Apply the same op to both pools; they must stay in lockstep.
+			both := func(op func(m *pax.Map) error) {
+				t.Helper()
+				if err := op(fm); err != nil {
+					t.Fatal(err)
+				}
+				if err := op(dm); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for round := 0; round < 5; round++ {
+				ops := 10 + rng.Intn(40)
+				for i := 0; i < ops; i++ {
+					k := []byte(fmt.Sprintf("k%03d", rng.Intn(60)))
+					if rng.Intn(4) == 0 {
+						both(func(m *pax.Map) error { _, err := m.Delete(k); return err })
+					} else {
+						v := []byte(fmt.Sprintf("v%06d", rng.Intn(1_000_000)))
+						both(func(m *pax.Map) error { return m.Put(k, v) })
+					}
+				}
+				if rng.Intn(2) == 0 {
+					if _, err := full.Persist(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := delta.Persist(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if rng.Intn(3) == 0 {
+					// Crash both and reopen: the recovered media must be
+					// byte-identical, whichever way it was persisted.
+					full.Close()
+					delta.Close()
+					full, err = pax.MapPool(fullPath, smallOpts())
+					if err != nil {
+						t.Fatal(err)
+					}
+					delta, err = pax.MapPool(deltaPath, deltaOpts())
+					if err != nil {
+						t.Fatal(err)
+					}
+					fimg := full.Internal().PM().Snapshot()
+					dimg := delta.Internal().PM().Snapshot()
+					if !bytes.Equal(fimg, dimg) {
+						off := -1
+						for i := range fimg {
+							if fimg[i] != dimg[i] {
+								off = i
+								break
+							}
+						}
+						t.Fatalf("round %d: recovered media diverges at offset %#x (full=%x delta=%x)",
+							round, off, fimg[off], dimg[off])
+					}
+					fm, err = pax.NewMap(full, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dm, err = pax.NewMap(delta, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			full.Close()
+			delta.Close()
+		})
+	}
+}
+
+// TestEpochLogTornTailRecoversPreviousCommit cuts the final delta append
+// mid-record — the crash the commit marker exists to catch — and verifies
+// the pool recovers to the previous committed epoch, not to garbage and not
+// to the torn epoch.
+func TestEpochLogTornTailRecoversPreviousCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.pool")
+	pool, err := pax.CreatePool(path, deltaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pax.NewMap(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed state: batch A.
+	for i := 0; i < 16; i++ {
+		if err := m.Put([]byte(fmt.Sprintf("a%02d", i)), []byte("committed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	epochA := pool.DurableEpoch()
+
+	// Batch B commits too — and then its append is torn.
+	for i := 0; i < 16; i++ {
+		if err := m.Put([]byte(fmt.Sprintf("b%02d", i)), []byte("torn")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Persist(); err != nil {
+		t.Fatal(err)
+	}
+
+	torn := filepath.Join(dir, "torn.pool")
+	copyPoolState(t, path, torn)
+	pool.Close()
+
+	// Cut into the newest segment's trailer: the last record loses its
+	// commit marker, exactly as if the crash hit mid-append.
+	segs, err := filepath.Glob(filepath.Join(torn+epochlog.DirSuffix, "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in torn copy: %v", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := pax.OpenPool(torn, deltaOpts())
+	if err != nil {
+		t.Fatalf("opening torn pool: %v", err)
+	}
+	defer re.Close()
+	if !re.Internal().PM().ReplayInfo().TornTail {
+		t.Fatal("replay did not report the torn tail")
+	}
+	if got := re.DurableEpoch(); got != epochA {
+		t.Fatalf("recovered durable epoch = %d, want %d (previous commit)", got, epochA)
+	}
+	rm, err := pax.NewMap(re, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		v, ok := rm.Get([]byte(fmt.Sprintf("a%02d", i)))
+		if !ok || string(v) != "committed" {
+			t.Fatalf("committed key a%02d lost: %q %v", i, v, ok)
+		}
+		if _, ok := rm.Get([]byte(fmt.Sprintf("b%02d", i))); ok {
+			t.Fatalf("torn key b%02d survived the cut append", i)
+		}
+	}
+}

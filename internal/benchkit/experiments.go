@@ -79,6 +79,7 @@ func Experiments() []Experiment {
 		{"tail", "§3.2 extension", "tail latency: group commit's persist spikes vs per-op WAL", TailLatency},
 		{"scan", "§3.1 extension", "ordered structure (B+tree) inserts and range scans across systems", ScanWorkload},
 		{"loadgen", "§3.2 extension", "concurrent KV serving: group-commit amortization vs client count", Loadgen},
+		{"epochstore", "§3.3 extension", "per-commit persisted bytes vs pool size: full-image republish vs delta epoch store", EpochStoreAmplification},
 	}
 }
 

@@ -2,6 +2,8 @@ package benchkit
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -51,6 +53,18 @@ type LoadSpec struct {
 	// simulator speed, which benchmarks the host CPU rather than the
 	// serving design.
 	CommitLatency time.Duration
+	// PoolDir, when non-empty, backs the engines with real pool files
+	// created there (fresh layout per run) instead of in-memory devices.
+	// File-backed runs are what the write-amplification sweeps need: the
+	// bytes each commit pushes through the filesystem are the measurement.
+	PoolDir string
+	// DataSize overrides the per-shard vPM data region in bytes (default
+	// 32 MiB). The pool-size sweep holds the workload fixed and grows this:
+	// full-image commit cost scales with it, delta commit cost must not.
+	DataSize uint64
+	// EpochLog selects the log-structured delta epoch store for the pools
+	// (pax.Options.EpochLog); false is the full-image baseline.
+	EpochLog bool
 }
 
 // LoadResult summarizes a run.
@@ -77,6 +91,20 @@ type LoadResult struct {
 	// carry a {shard="K"} suffix; plain names are cross-shard sums),
 	// sampled safely after the engines close.
 	Metrics stats.Summary
+	// PoolBytes is the per-shard media size; EpochLog echoes which persist
+	// mode the run used.
+	PoolBytes int64
+	EpochLog  bool
+	// CommitP50Bytes/CommitP99Bytes are per-commit persisted-bytes quantiles
+	// as the serving engine observed them (paxserve_epoch_delta_bytes, which
+	// excludes the one-time pool-format sync): O(dirty) under the epoch
+	// store, the pool size under full-image. WriteAmplification is the mean
+	// persisted bytes per serving commit divided by the pool size — the
+	// fraction of the pool each commit rewrites (1.0 for full-image by
+	// construction).
+	CommitP50Bytes     float64
+	CommitP99Bytes     float64
+	WriteAmplification float64
 }
 
 // LoadJSON is the machine-readable form of a LoadResult — what
@@ -101,6 +129,14 @@ type LoadJSON struct {
 	AckP50Micros      float64 `json:"ack_p50_us"`
 	AckP95Micros      float64 `json:"ack_p95_us"`
 	AckP99Micros      float64 `json:"ack_p99_us"`
+	// Epoch-store A/B fields: which persist mode ran, the per-shard pool
+	// size, per-commit persisted-bytes quantiles, and the mean fraction of
+	// the pool rewritten per commit.
+	EpochLog           bool    `json:"epoch_log"`
+	PoolBytes          int64   `json:"pool_bytes"`
+	CommitP50Bytes     float64 `json:"commit_p50_bytes"`
+	CommitP99Bytes     float64 `json:"commit_p99_bytes"`
+	WriteAmplification float64 `json:"write_amplification"`
 }
 
 // JSON converts the result to its machine-readable record.
@@ -114,28 +150,34 @@ func (r LoadResult) JSON() LoadJSON {
 		path = "queued"
 	}
 	return LoadJSON{
-		Shards:            shards,
-		Clients:           r.Spec.Clients,
-		OpsPerClient:      r.Spec.OpsPerClient,
-		MaxBatch:          r.Spec.MaxBatch,
-		CommitLatencyMS:   float64(r.Spec.CommitLatency.Microseconds()) / 1e3,
-		ReadRatio:         r.Spec.ReadRatio,
-		ReadPath:          path,
-		AckedWrites:       r.AckedWrites,
-		Gets:              r.Gets,
-		Snapshots:         r.GroupCommits,
-		BatchMax:          r.BatchMax,
-		Amortization:      r.Amortization,
-		WallMillis:        float64(r.Wall.Microseconds()) / 1e3,
-		AckedWritesPerSec: r.Throughput,
-		AckedOpsPerSec:    r.OpsThroughput,
-		AckP50Micros:      float64(r.AckP50.Nanoseconds()) / 1e3,
-		AckP95Micros:      float64(r.AckP95.Nanoseconds()) / 1e3,
-		AckP99Micros:      float64(r.AckP99.Nanoseconds()) / 1e3,
+		Shards:             shards,
+		Clients:            r.Spec.Clients,
+		OpsPerClient:       r.Spec.OpsPerClient,
+		MaxBatch:           r.Spec.MaxBatch,
+		CommitLatencyMS:    float64(r.Spec.CommitLatency.Microseconds()) / 1e3,
+		ReadRatio:          r.Spec.ReadRatio,
+		ReadPath:           path,
+		AckedWrites:        r.AckedWrites,
+		Gets:               r.Gets,
+		Snapshots:          r.GroupCommits,
+		BatchMax:           r.BatchMax,
+		Amortization:       r.Amortization,
+		WallMillis:         float64(r.Wall.Microseconds()) / 1e3,
+		AckedWritesPerSec:  r.Throughput,
+		AckedOpsPerSec:     r.OpsThroughput,
+		AckP50Micros:       float64(r.AckP50.Nanoseconds()) / 1e3,
+		AckP95Micros:       float64(r.AckP95.Nanoseconds()) / 1e3,
+		AckP99Micros:       float64(r.AckP99.Nanoseconds()) / 1e3,
+		EpochLog:           r.EpochLog,
+		PoolBytes:          r.PoolBytes,
+		CommitP50Bytes:     r.CommitP50Bytes,
+		CommitP99Bytes:     r.CommitP99Bytes,
+		WriteAmplification: r.WriteAmplification,
 	}
 }
 
-// RunLoad executes one loadgen run on fresh in-memory pools (one per shard).
+// RunLoad executes one loadgen run on fresh pools (one per shard) —
+// in-memory by default, file-backed under spec.PoolDir.
 func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.Clients <= 0 || spec.OpsPerClient <= 0 {
 		return LoadResult{}, fmt.Errorf("benchkit: loadgen needs clients and ops, got %+v", spec)
@@ -150,8 +192,16 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	eng, err := server.OpenSharded("", shards,
-		pax.Options{DataSize: 32 << 20, LogSize: 16 << 20, HBMSize: 16 << 20},
+	opts := pax.Options{DataSize: 32 << 20, LogSize: 16 << 20, HBMSize: 16 << 20, EpochLog: spec.EpochLog}
+	if spec.DataSize > 0 {
+		opts.DataSize = spec.DataSize
+	}
+	path := ""
+	if spec.PoolDir != "" {
+		path = filepath.Join(spec.PoolDir, "load.pool")
+		opts.Overwrite = true
+	}
+	eng, err := server.OpenSharded(path, shards, opts,
 		0, server.Config{
 			MaxBatch:      spec.MaxBatch,
 			MaxDelay:      spec.MaxDelay,
@@ -162,6 +212,8 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if err != nil {
 		return LoadResult{}, err
 	}
+	poolBytes := int64(eng.MediaSize())
+	epochLog := eng.EpochLogEnabled()
 
 	value := make([]byte, spec.ValueBytes)
 	for i := range value {
@@ -231,25 +283,79 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 	ack := ackLat.Snapshot()
 	res := LoadResult{
-		Spec:         spec,
-		AckedWrites:  agg.AckedWrites,
-		Gets:         agg.Gets,
-		GroupCommits: agg.GroupCommits,
-		BatchMax:     agg.BatchMax,
-		Wall:         wall,
-		Metrics:      metrics,
-		AckP50:       time.Duration(ack.Quantile(0.50)),
-		AckP95:       time.Duration(ack.Quantile(0.95)),
-		AckP99:       time.Duration(ack.Quantile(0.99)),
+		Spec:           spec,
+		AckedWrites:    agg.AckedWrites,
+		Gets:           agg.Gets,
+		GroupCommits:   agg.GroupCommits,
+		BatchMax:       agg.BatchMax,
+		Wall:           wall,
+		Metrics:        metrics,
+		AckP50:         time.Duration(ack.Quantile(0.50)),
+		AckP95:         time.Duration(ack.Quantile(0.95)),
+		AckP99:         time.Duration(ack.Quantile(0.99)),
+		PoolBytes:      poolBytes,
+		EpochLog:       epochLog,
+		CommitP50Bytes: metrics[`paxserve_epoch_delta_bytes{q="p50"}`],
+		CommitP99Bytes: metrics[`paxserve_epoch_delta_bytes{q="p99"}`],
 	}
 	if res.GroupCommits > 0 {
 		res.Amortization = float64(res.AckedWrites) / float64(res.GroupCommits)
+	}
+	if n := metrics["paxserve_epoch_delta_bytes_count"]; n > 0 && poolBytes > 0 {
+		res.WriteAmplification = metrics["paxserve_epoch_delta_bytes_sum"] / n / float64(poolBytes)
 	}
 	if wall > 0 {
 		res.Throughput = float64(res.AckedWrites) / wall.Seconds()
 		res.OpsThroughput = float64(res.AckedWrites+res.Gets) / wall.Seconds()
 	}
 	return res, nil
+}
+
+// EpochStoreAmplification is the epoch-store A/B: the same fixed workload
+// over growing file-backed pools, committed as full-image republishes vs as
+// delta records. Full-image per-commit bytes track the pool size (write
+// amplification 1.0 by construction); the delta store's stay O(dirty) —
+// flat across the sweep — which is the property the epoch store exists to
+// buy. The workload is deliberately small: the measurement is bytes per
+// commit, not throughput, and the full-image side rewrites the whole pool
+// every commit.
+func EpochStoreAmplification(cfg Config, sz Sizes) []*stats.Table {
+	poolMiB := []int{64, 128, 256}
+	if sz.MeasureOps < 10_000 {
+		poolMiB = []int{16, 32, 64} // quick scale: keep full-image I/O in check
+	}
+	table := stats.NewTable("epoch store: per-commit persisted bytes vs pool size (fixed workload, file-backed)",
+		"mode", "pool MiB", "commits", "p50 KiB/commit", "p99 KiB/commit", "amplification", "writes/s")
+	for _, epochLog := range []bool{false, true} {
+		mode := "full-image"
+		if epochLog {
+			mode = "delta"
+		}
+		for _, mib := range poolMiB {
+			dir, err := os.MkdirTemp("", "pax-epochstore-*")
+			if err != nil {
+				panic(fmt.Sprintf("benchkit: epoch-store sweep: %v", err))
+			}
+			res, err := RunLoad(LoadSpec{
+				Clients:      8,
+				OpsPerClient: 24,
+				ValueBytes:   64,
+				MaxBatch:     16,
+				MaxDelay:     time.Millisecond,
+				PoolDir:      dir,
+				DataSize:     uint64(mib) << 20,
+				EpochLog:     epochLog,
+			})
+			os.RemoveAll(dir)
+			if err != nil {
+				panic(fmt.Sprintf("benchkit: epoch-store sweep (%s, %d MiB): %v", mode, mib, err))
+			}
+			table.AddRowf(mode, mib, res.GroupCommits,
+				res.CommitP50Bytes/1024, res.CommitP99Bytes/1024,
+				res.WriteAmplification, res.Throughput)
+		}
+	}
+	return []*stats.Table{table}
 }
 
 // Loadgen is the experiment wrapper: sweep client counts (amortization vs

@@ -118,6 +118,11 @@ type PersistTimings struct {
 	DeviceNS  stats.LatencyHistogram // snoop + log wait + write-back (device side)
 	SyncNS    stats.LatencyHistogram // media commit (pmem.Sync, all stages)
 	LogWaitPS stats.LatencyHistogram // simulated undo-durability stall
+	// SyncBytes is not a latency at all but rides the same lock-free
+	// histogram machinery: bytes persisted per media commit. Full-image mode
+	// pins it at the pool size; epoch-log mode makes it O(dirty), which is
+	// the whole point — the quantiles read out the write amplification.
+	SyncBytes stats.LatencyHistogram
 }
 
 func headerField(pm *pmem.Device, off uint64) uint64 {
@@ -362,6 +367,7 @@ func (p *Pool) Persist() (device.PersistReport, error) {
 		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
 	p.timings.SyncNS.Since(syncStart)
+	p.timings.SyncBytes.Observe(p.pm.LastSyncBytes())
 	return rep, nil
 }
 
@@ -383,10 +389,19 @@ func (p *Pool) PersistPipelined() (device.PersistReport, error) {
 		return rep, fmt.Errorf("core: committing epoch %d: %w", rep.Epoch, err)
 	}
 	p.timings.SyncNS.Since(syncStart)
+	p.timings.SyncBytes.Observe(p.pm.LastSyncBytes())
 	return rep, nil
 }
 
 // Close syncs the media image (for file-backed pools) without persisting the
 // current epoch: like a crash, any unpersisted epoch is rolled back on the
 // next Open. Callers that want the latest state durable call Persist first.
-func (p *Pool) Close() error { return p.pm.Sync() }
+// The media device is then shut down (background checkpoints drained, epoch
+// log file handles released); the sync error, if any, wins.
+func (p *Pool) Close() error {
+	err := p.pm.Sync()
+	if cerr := p.pm.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,320 @@
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"pax/internal/epochlog"
+)
+
+// This file is the delta epoch-store backend (Config.EpochLog): the device
+// tracks the dirty byte ranges of every media write and Sync persists only
+// those — one appended, fsynced delta record in the pool's epoch log —
+// instead of republishing the full image. The full-image publish survives as
+// the background checkpoint: once the log grows past a threshold, a
+// goroutine snapshots the media into the reused scratch buffer, publishes it
+// atomically under the pool's name, and compacts the segments the checkpoint
+// covers. Commit cost becomes O(dirty bytes); the O(pool) cost moves off the
+// commit path entirely.
+//
+// Correctness hinges on one ordering rule, enforced in checkpoint(): the
+// covered sequence number j is read BEFORE the media snapshot is taken.
+// Every record ≤ j is then necessarily reflected in the snapshot, so
+// compacting through j after the publish never deletes a record the
+// published image lacks. Records appended during the snapshot window are
+// harmlessly replayed on top at recovery (absolute byte values; replay is
+// idempotent).
+
+// dirtyRange is one [addr, end) interval of media bytes written since the
+// last Sync.
+type dirtyRange struct{ addr, end uint64 }
+
+// dirtyCompactLimit bounds the un-coalesced dirty list; past it the tracker
+// sorts and merges in place so a scatter-write workload cannot grow the list
+// without bound between Syncs.
+const dirtyCompactLimit = 1 << 14
+
+// trackDirtyLocked records a media write. Called under d.mu on every Write
+// when the device is in epoch-log mode; the fast path extends the previous
+// range, since log appends and sequential write-back dominate the write
+// stream.
+func (d *Device) trackDirtyLocked(addr uint64, n int) {
+	if !d.trackDirty || n == 0 {
+		return
+	}
+	end := addr + uint64(n)
+	if k := len(d.dirty) - 1; k >= 0 {
+		if last := &d.dirty[k]; addr <= last.end && last.addr <= end {
+			if addr < last.addr {
+				last.addr = addr
+			}
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+	}
+	d.dirty = append(d.dirty, dirtyRange{addr, end})
+	if len(d.dirty) > dirtyCompactLimit {
+		d.dirty = coalesce(d.dirty)
+	}
+}
+
+// coalesce sorts ranges by address and merges overlapping or adjacent ones,
+// in place.
+func coalesce(ranges []dirtyRange) []dirtyRange {
+	if len(ranges) < 2 {
+		return ranges
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].addr < ranges[j].addr })
+	out := ranges[:1]
+	for _, r := range ranges[1:] {
+		if last := &out[len(out)-1]; r.addr <= last.end {
+			if r.end > last.end {
+				last.end = r.end
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// takeDirtyLocked coalesces and drains the dirty list, copying the current
+// media bytes of each range (the record must capture the state this Sync
+// commits, not whatever the media holds when the append lands). Returns the
+// ranges and their total payload bytes.
+func (d *Device) takeDirtyLocked() ([]epochlog.Range, int64) {
+	merged := coalesce(d.dirty)
+	d.dirty = d.dirty[:0]
+	if len(merged) == 0 {
+		return nil, 0
+	}
+	out := make([]epochlog.Range, len(merged))
+	var total int64
+	for i, r := range merged {
+		data := make([]byte, r.end-r.addr)
+		copy(data, d.media[r.addr:r.end])
+		out[i] = epochlog.Range{Addr: r.addr, Data: data}
+		total += int64(len(data))
+	}
+	return out, total
+}
+
+// restoreDirtyLocked re-marks ranges whose append failed, so the next Sync
+// recaptures them (with whatever newer bytes the media holds by then).
+func (d *Device) restoreDirtyLocked(ranges []epochlog.Range) {
+	for _, r := range ranges {
+		d.dirty = append(d.dirty, dirtyRange{r.Addr, r.Addr + uint64(len(r.Data))})
+	}
+}
+
+// epochValueLocked reads the durable-epoch cell the delta record is stamped
+// with (0 when the config did not place one).
+func (d *Device) epochValueLocked() uint64 {
+	off := d.cfg.EpochCellOffset
+	if off <= 0 || off+8 > int64(len(d.media)) {
+		return 0
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(d.media[off+int64(i)])
+	}
+	return v
+}
+
+// syncDelta is Sync's epoch-log fast path: append one delta record covering
+// the dirty ranges and fsync only that. On append failure the ranges are
+// re-marked dirty, so a retried Sync re-persists them — the caller must
+// treat the epoch as not durable, exactly as with a failed full-image Sync.
+func (d *Device) syncDelta(start time.Time) error {
+	d.mu.Lock()
+	ranges, _ := d.takeDirtyLocked()
+	epoch := d.epochValueLocked()
+	d.mu.Unlock()
+	appendStart := time.Now()
+	n, err := d.store.Append(epoch, ranges)
+	if err != nil {
+		d.mu.Lock()
+		d.restoreDirtyLocked(ranges)
+		d.mu.Unlock()
+		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
+	}
+	d.SyncTimings.Append.Since(appendStart)
+	d.lastSyncBytes.Store(n)
+	d.SyncBytes.Add(uint64(n))
+	d.SyncTimings.Total.Since(start)
+	d.maybeCheckpoint()
+	return nil
+}
+
+// maybeCheckpoint kicks the background checkpoint when the log has grown
+// past the threshold. At most one checkpoint runs at a time; commits never
+// wait for it.
+func (d *Device) maybeCheckpoint() {
+	if d.closed.Load() || d.store.LiveBytes() < d.ckptBytes {
+		return
+	}
+	if !d.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		defer d.ckptBusy.Store(false)
+		if err := d.checkpoint(); err != nil {
+			// Background and best-effort: the log keeps the data durable,
+			// the next threshold crossing retries, and the failure count is
+			// the observable signal.
+			d.CheckpointFailures.Inc()
+		}
+	}()
+}
+
+// Checkpoint synchronously publishes a full-image checkpoint and compacts
+// the segments it covers. Tests and tools call it directly; commits go
+// through maybeCheckpoint instead.
+func (d *Device) Checkpoint() error {
+	if d.store == nil {
+		return fmt.Errorf("pmem: %s is not in epoch-log mode", d.path)
+	}
+	if err := d.checkpoint(); err != nil {
+		d.CheckpointFailures.Inc()
+		return err
+	}
+	return nil
+}
+
+func (d *Device) checkpoint() error {
+	if err := d.faultAt(FaultCheckpoint); err != nil {
+		return fmt.Errorf("pmem: checkpoint %s: %w", d.path, err)
+	}
+	d.publishMu.Lock()
+	defer d.publishMu.Unlock()
+	// Ordering rule: read the covered sequence number before snapshotting,
+	// so every compacted record is provably inside the published image.
+	covered := d.store.LastSeq()
+	d.mu.Lock()
+	if d.scratch == nil {
+		d.scratch = make([]byte, len(d.media))
+	}
+	copy(d.scratch, d.media)
+	d.mu.Unlock()
+	if err := d.publishImage(d.scratch); err != nil {
+		return fmt.Errorf("pmem: checkpoint %s: %w", d.path, err)
+	}
+	d.Checkpoints.Inc()
+	d.CheckpointBytes.Add(uint64(len(d.scratch)))
+	if err := d.store.CompactThrough(covered); err != nil {
+		return fmt.Errorf("pmem: checkpoint %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// publishImage atomically publishes image under the pool's name: temp file,
+// fsync, rename, directory fsync. Unlike writeImage/syncDir it consults no
+// per-stage fault hooks — checkpoint fault injection goes through the single
+// FaultCheckpoint stage, so the FailSyncs schedules (which count commit
+// fsyncs) keep meaning the same thing in both modes.
+func (d *Device) publishImage(image []byte) error {
+	tmp := d.path + syncTempSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(image); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return fsyncDir(filepath.Dir(d.path))
+}
+
+// EpochLog exposes the device's epoch store (nil when the device is not in
+// file-backed epoch-log mode). Stats plumbing reads LiveBytes and segment
+// counts through it.
+func (d *Device) EpochLog() *epochlog.Store { return d.store }
+
+// ReplayInfo reports what Open recovered from the epoch log (zero value when
+// the device did not open an epoch log).
+func (d *Device) ReplayInfo() epochlog.Info { return d.replayInfo }
+
+// LastSyncBytes reports how many bytes the most recent successful Sync
+// persisted: the delta record size in epoch-log mode, the full image size in
+// full-image mode. This is the numerator of the write-amplification metric.
+func (d *Device) LastSyncBytes() int64 { return d.lastSyncBytes.Load() }
+
+// WaitCheckpoint blocks until any in-flight background checkpoint finishes.
+func (d *Device) WaitCheckpoint() { d.ckptWG.Wait() }
+
+// Close stops background checkpointing and releases the epoch store's file
+// handles. The media image stays valid: delta pools reopen from checkpoint +
+// log, full-image pools from the last published image.
+func (d *Device) Close() error {
+	d.closed.Store(true)
+	d.ckptWG.Wait()
+	if d.store != nil {
+		return d.store.Close()
+	}
+	return nil
+}
+
+// openEpochLog attaches the epoch store to a file-backed device and replays
+// committed deltas onto the freshly loaded checkpoint image. Called from
+// Open after the checkpoint (pool file) is in memory.
+func (d *Device) openEpochLog() error {
+	segBytes := d.cfg.EpochLogSegmentBytes
+	st, err := epochlog.Open(epochlog.Config{
+		Dir:          d.path + epochlog.DirSuffix,
+		SegmentBytes: segBytes,
+		Fault: func(stage epochlog.Stage) error {
+			switch stage {
+			case epochlog.StageAppend:
+				return d.faultAt(FaultAppend)
+			case epochlog.StageAppendSync:
+				// The append fsync IS the media commit in delta mode: route
+				// it through the stage the FailSyncs schedules count.
+				return d.faultAt(FaultFileSync)
+			case epochlog.StageCompact:
+				return d.faultAt(FaultCompact)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	size := uint64(len(d.media))
+	err = st.Replay(func(rec epochlog.Record) error {
+		for _, r := range rec.Ranges {
+			end := r.Addr + uint64(len(r.Data))
+			if end < r.Addr || end > size {
+				return fmt.Errorf("pmem: %s: record %d writes [%d, %d) outside pool of %d bytes",
+					d.path, rec.Seq, r.Addr, end, size)
+			}
+			copy(d.media[r.Addr:end], r.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		st.Close()
+		return err
+	}
+	d.store = st
+	d.replayInfo = st.Info()
+	return nil
+}

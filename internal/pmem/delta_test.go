@@ -1,0 +1,428 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pax/internal/epochlog"
+)
+
+func deltaConfig(size int) Config {
+	cfg := DefaultConfig(size)
+	cfg.EpochLog = true
+	return cfg
+}
+
+func openDelta(t *testing.T, path string, cfg Config) *Device {
+	t.Helper()
+	d, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestDeltaRecoveryEquivalence is the core property test: a random write
+// workload synced through the epoch log recovers, across repeated
+// close/reopen cycles, byte-identical to the same workload synced through
+// full-image mode.
+func TestDeltaRecoveryEquivalence(t *testing.T) {
+	const size = 1 << 16
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "delta.pool")
+	fullPath := filepath.Join(dir, "full.pool")
+
+	dcfg := deltaConfig(size)
+	dcfg.EpochLogSegmentBytes = 8 << 10 // force rolls
+	fcfg := DefaultConfig(size)
+
+	delta := openDelta(t, deltaPath, dcfg)
+	full := openDelta(t, fullPath, fcfg)
+
+	writeBoth := func() {
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(size - 256))
+			buf := make([]byte, 1+rng.Intn(256))
+			rng.Read(buf)
+			delta.Write(addr, buf, 0)
+			full.Write(addr, buf, 0)
+		}
+	}
+
+	for cycle := 0; cycle < 8; cycle++ {
+		for s := 0; s < 5; s++ {
+			writeBoth()
+			if err := delta.Sync(); err != nil {
+				t.Fatalf("cycle %d: delta sync: %v", cycle, err)
+			}
+			if err := full.Sync(); err != nil {
+				t.Fatalf("cycle %d: full sync: %v", cycle, err)
+			}
+		}
+		// "Crash": drop both devices without any further persistence and
+		// reopen from disk.
+		delta.Close()
+		full.Close()
+		delta = openDelta(t, deltaPath, dcfg)
+		full = openDelta(t, fullPath, fcfg)
+		if !bytes.Equal(delta.Snapshot(), full.Snapshot()) {
+			t.Fatalf("cycle %d: delta and full-image recovery diverged", cycle)
+		}
+	}
+}
+
+// TestDeltaSyncIsODirty checks the headline property: on a large pool, a
+// small write syncs a small number of bytes, while full-image mode persists
+// the whole pool every time.
+func TestDeltaSyncIsODirty(t *testing.T) {
+	const size = 4 << 20
+	dir := t.TempDir()
+	d := openDelta(t, filepath.Join(dir, "p.pool"), deltaConfig(size))
+	if err := d.Sync(); err != nil { // flush the initial whole-pool dirtiness
+		t.Fatal(err)
+	}
+	d.Write(1234, []byte("tiny"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LastSyncBytes(); got > 1024 {
+		t.Fatalf("delta sync persisted %d bytes for a 4-byte write", got)
+	}
+
+	f := openDelta(t, filepath.Join(dir, "f.pool"), DefaultConfig(size))
+	f.Write(1234, []byte("tiny"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.LastSyncBytes(); got != size {
+		t.Fatalf("full-image sync persisted %d bytes, want %d", got, size)
+	}
+}
+
+// TestDeltaTornAppendRecoversPreviousEpoch crashes mid-append (torn tail on
+// the last record) and verifies recovery lands on the previous sync's state.
+func TestDeltaTornAppendRecoversPreviousEpoch(t *testing.T) {
+	const size = 1 << 12
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	d := openDelta(t, path, cfg)
+
+	d.Write(0, bytes.Repeat([]byte{1}, 64), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stateAfterFirst := d.Snapshot()
+	d.Write(0, bytes.Repeat([]byte{2}, 64), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Tear the last record: chop bytes off the newest segment.
+	segs, err := os.ReadDir(path + epochlog.DirSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(path+epochlog.DirSuffix, segs[len(segs)-1].Name())
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDelta(t, path, cfg)
+	if !re.ReplayInfo().TornTail {
+		t.Fatalf("torn tail not reported: %+v", re.ReplayInfo())
+	}
+	if !bytes.Equal(re.Snapshot(), stateAfterFirst) {
+		t.Fatalf("torn-append recovery did not land on the previous committed state")
+	}
+}
+
+// TestDeltaCheckpointAndCompaction drives enough data through a small
+// checkpoint threshold to trigger checkpoints, then verifies reopen state
+// and that consumed segments were deleted.
+func TestDeltaCheckpointAndCompaction(t *testing.T) {
+	const size = 1 << 16
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	cfg.EpochLogSegmentBytes = 4 << 10
+	cfg.EpochLogCheckpointBytes = 8 << 10
+	d := openDelta(t, path, cfg)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		buf := make([]byte, 512)
+		rng.Read(buf)
+		d.Write(uint64(rng.Intn(size-512)), buf, 0)
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.WaitCheckpoint()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Checkpoints.Load() == 0 {
+		t.Fatalf("no checkpoint ran despite %d live bytes threshold", cfg.EpochLogCheckpointBytes)
+	}
+	if live := d.EpochLog().LiveBytes(); live > cfg.EpochLogCheckpointBytes {
+		t.Fatalf("compaction left %d live bytes (threshold %d)", live, cfg.EpochLogCheckpointBytes)
+	}
+	want := d.Snapshot()
+	d.Close()
+
+	re := openDelta(t, path, cfg)
+	if !bytes.Equal(re.Snapshot(), want) {
+		t.Fatalf("post-checkpoint reopen lost state")
+	}
+}
+
+// TestDeltaCrashMidCheckpoint simulates the two crash points around a
+// checkpoint: a stale staging file (crash before rename) and a published
+// checkpoint with a crash before compaction (full log still present).
+func TestDeltaCrashMidCheckpoint(t *testing.T) {
+	const size = 1 << 14
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	d := openDelta(t, path, cfg)
+	d.Write(100, []byte("committed state"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Snapshot()
+	d.Close()
+
+	// Crash before rename: a stale .tmp with garbage must be ignored.
+	if err := os.WriteFile(path+syncTempSuffix, bytes.Repeat([]byte{0xEE}, size/2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openDelta(t, path, cfg)
+	if !bytes.Equal(re.Snapshot(), want) {
+		t.Fatalf("stale checkpoint staging file corrupted recovery")
+	}
+
+	// Crash after publish, before compaction: checkpoint covers the log but
+	// the log is still there. Replaying it on top must be a no-op
+	// (idempotent absolute-value records).
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	re.Write(200, []byte("after checkpoint"), 0)
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := re.Snapshot()
+	re.Close()
+	re2 := openDelta(t, path, cfg)
+	if !bytes.Equal(re2.Snapshot(), want2) {
+		t.Fatalf("recovery after checkpoint+append diverged")
+	}
+}
+
+// TestDeltaCrashMidCompaction deletes a middle segment (the on-disk
+// signature of a crash partway through compaction) and verifies the reopened
+// device still recovers: pre-gap segments are provably covered by the
+// published checkpoint.
+func TestDeltaCrashMidCompaction(t *testing.T) {
+	const size = 1 << 14
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	cfg.EpochLogSegmentBytes = 2 << 10
+	// Threshold high enough that no background checkpoint interferes.
+	cfg.EpochLogCheckpointBytes = 1 << 30
+	d := openDelta(t, path, cfg)
+	if err := d.Sync(); err != nil { // initial whole-pool record
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 12; i++ {
+		buf := make([]byte, 512)
+		rng.Read(buf)
+		d.Write(uint64(rng.Intn(size-512)), buf, 0)
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Publish a checkpoint covering everything, then crash "mid-compaction":
+	// manually delete a middle segment instead of letting CompactThrough
+	// finish. Run the real checkpoint but restore the segment files first…
+	// simpler: publish the image by hand.
+	img := d.Snapshot()
+	if err := d.publishImage(img); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	segs, err := os.ReadDir(path + epochlog.DirSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments to simulate a partial compaction, got %d", len(segs))
+	}
+	// Delete the oldest and one middle segment, keep the rest: exactly what
+	// a crash between two os.Remove calls leaves.
+	if err := os.Remove(filepath.Join(path+epochlog.DirSuffix, segs[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(path+epochlog.DirSuffix, segs[2].Name())); err != nil {
+		t.Fatal(err)
+	}
+	re := openDelta(t, path, cfg)
+	if !bytes.Equal(re.Snapshot(), img) {
+		t.Fatalf("crash-mid-compaction recovery diverged from the published checkpoint state")
+	}
+}
+
+// TestDeltaFailedAppendKeepsRangesDirty injects a one-shot fsync fault: the
+// failed Sync must not lose the dirty ranges, and the retried Sync must make
+// them durable.
+func TestDeltaFailedAppendKeepsRangesDirty(t *testing.T) {
+	const size = 1 << 12
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	d := openDelta(t, path, cfg)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	bang := errors.New("injected media fault")
+	d.SetFaultFn(FailSyncs(1, bang))
+	d.Write(64, []byte("must survive the retry"), 0)
+	if err := d.Sync(); err == nil {
+		t.Fatalf("sync should have failed")
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	want := d.Snapshot()
+	d.Close()
+	re := openDelta(t, path, cfg)
+	if !bytes.Equal(re.Snapshot(), want) {
+		t.Fatalf("retried append lost the dirty ranges")
+	}
+	if got := re.Snapshot()[64:86]; !bytes.Equal(got, []byte("must survive the retry")) {
+		t.Fatalf("recovered bytes = %q", got)
+	}
+}
+
+// TestFullImageOpenRefusesDeltaPool: opening a pool whose epoch log still
+// holds segments without EpochLog mode must fail loudly, not silently
+// recover a stale checkpoint.
+func TestFullImageOpenRefusesDeltaPool(t *testing.T) {
+	const size = 1 << 12
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	d := openDelta(t, path, deltaConfig(size))
+	d.Write(0, []byte("x"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := Open(path, DefaultConfig(size)); err == nil {
+		t.Fatalf("full-image open of a delta pool should fail")
+	}
+}
+
+// TestDeltaOpenUpgradesFullImagePool: epoch-log mode on an existing plain
+// pool file is a seamless upgrade.
+func TestDeltaOpenUpgradesFullImagePool(t *testing.T) {
+	const size = 1 << 12
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	f, err := Open(path, DefaultConfig(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(8, []byte("legacy image"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := f.Snapshot()
+	f.Close()
+
+	d := openDelta(t, path, deltaConfig(size))
+	if !bytes.Equal(d.Snapshot(), want) {
+		t.Fatalf("upgrade open lost the legacy image")
+	}
+	d.Write(100, []byte("delta now"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := d.Snapshot()
+	d.Close()
+	re := openDelta(t, path, deltaConfig(size))
+	if !bytes.Equal(re.Snapshot(), want2) {
+		t.Fatalf("post-upgrade recovery diverged")
+	}
+}
+
+// TestInMemoryDeltaAccounting: an in-memory epoch-log device persists
+// nothing but still reports the modeled delta size.
+func TestInMemoryDeltaAccounting(t *testing.T) {
+	d := New(deltaConfig(1 << 16))
+	d.Write(0, bytes.Repeat([]byte{1}, 100), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := d.LastSyncBytes()
+	if got < 100 || got > 1024 {
+		t.Fatalf("in-memory delta LastSyncBytes = %d, want ≈100 + overhead", got)
+	}
+	m := New(DefaultConfig(1 << 16))
+	m.Write(0, []byte{1}, 0)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastSyncBytes() != 1<<16 {
+		t.Fatalf("in-memory full-image LastSyncBytes = %d", m.LastSyncBytes())
+	}
+}
+
+// TestDeltaCheckpointFaultInjection: a FaultCheckpoint error defers the
+// checkpoint without hurting durability.
+func TestDeltaCheckpointFaultInjection(t *testing.T) {
+	const size = 1 << 12
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	cfg := deltaConfig(size)
+	d := openDelta(t, path, cfg)
+	d.SetFaultFn(func(op FaultOp) error {
+		if op == FaultCheckpoint {
+			return fmt.Errorf("injected checkpoint fault")
+		}
+		return nil
+	})
+	d.Write(0, []byte("survives"), 0)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatalf("checkpoint should have failed")
+	}
+	if d.CheckpointFailures.Load() == 0 {
+		t.Fatalf("checkpoint failure not counted")
+	}
+	want := d.Snapshot()
+	d.SetFaultFn(nil)
+	d.Close()
+	re := openDelta(t, path, cfg)
+	if !bytes.Equal(re.Snapshot(), want) {
+		t.Fatalf("failed checkpoint hurt durability")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pax/internal/epochlog"
 	"pax/internal/sim"
 	"pax/internal/stats"
 )
@@ -48,6 +49,16 @@ const (
 	FaultRename FaultOp = "rename"
 	// FaultDirSync fails the directory fsync that makes the rename durable.
 	FaultDirSync FaultOp = "dirsync"
+
+	// Epoch-log (delta) mode stages.
+
+	// FaultAppend fails writing a delta record into the epoch log.
+	FaultAppend FaultOp = "append"
+	// FaultCheckpoint fails a background checkpoint before it starts; the
+	// log keeps every commit durable, so the failure only defers compaction.
+	FaultCheckpoint FaultOp = "checkpoint"
+	// FaultCompact fails deleting a checkpoint-covered segment.
+	FaultCompact FaultOp = "compact"
 )
 
 // Config parameterizes a Device.
@@ -64,7 +75,28 @@ type Config struct {
 	// FailSyncsAfter for ready-made schedules. Installable after Open via
 	// SetFaultFn.
 	FaultFn func(FaultOp) error
+
+	// EpochLog selects the log-structured delta epoch store: Sync appends a
+	// delta record of the dirty byte ranges to <path>.epochlog/ instead of
+	// republishing the full image, which becomes the background checkpoint.
+	// On an in-memory device there is no log to write, but the device still
+	// tracks dirty ranges so LastSyncBytes models the delta cost.
+	EpochLog bool
+	// EpochLogSegmentBytes is the segment roll threshold (0 = epochlog's
+	// default).
+	EpochLogSegmentBytes int64
+	// EpochLogCheckpointBytes is the log size past which a background
+	// checkpoint is kicked (0 = DefaultCheckpointBytes).
+	EpochLogCheckpointBytes int64
+	// EpochCellOffset is the media offset of the pool's 8-byte durable-epoch
+	// cell; each delta record is stamped with its little-endian value so the
+	// log is inspectable by epoch. ≤ 0 means no cell (records stamp 0).
+	EpochCellOffset int64
 }
+
+// DefaultCheckpointBytes is the default epoch-log size that triggers a
+// background full-image checkpoint.
+const DefaultCheckpointBytes = 16 << 20
 
 // FailSyncs returns a fault schedule whose first n media syncs fail with err
 // and whose later ones succeed — a transient fault the medium recovers from.
@@ -142,9 +174,35 @@ type Device struct {
 	// faultFn, when set, can fail media-durability stages (see FaultOp).
 	faultFn func(FaultOp) error
 
+	// Epoch-log (delta) mode state — see delta.go. trackDirty is set in any
+	// EpochLog config; store only on file-backed devices, which actually
+	// persist the deltas.
+	trackDirty bool
+	dirty      []dirtyRange
+	store      *epochlog.Store
+	replayInfo epochlog.Info
+
+	// publishMu serializes full-image publishes (full-image Sync and the
+	// background checkpoint) and guards scratch, the reused staging buffer.
+	publishMu sync.Mutex
+	scratch   []byte
+
+	closed    atomic.Bool
+	ckptBusy  atomic.Bool
+	ckptWG    sync.WaitGroup
+	ckptBytes int64
+
 	// Stats.
 	Reads, Writes           stats.Counter
 	BytesRead, BytesWritten stats.Counter
+	// SyncBytes accumulates bytes persisted by successful Syncs (delta
+	// record sizes in epoch-log mode, full images otherwise); Checkpoints /
+	// CheckpointBytes / CheckpointFailures count background checkpoints.
+	SyncBytes          stats.Counter
+	Checkpoints        stats.Counter
+	CheckpointBytes    stats.Counter
+	CheckpointFailures stats.Counter
+	lastSyncBytes      atomic.Int64
 
 	// SyncTimings are the media-commit stage latencies (see SyncTimings).
 	SyncTimings SyncTimings
@@ -161,6 +219,7 @@ type SyncTimings struct {
 	FileSync   stats.LatencyHistogram // fsync the temp file
 	Rename     stats.LatencyHistogram // publish via rename
 	DirSync    stats.LatencyHistogram // fsync the directory
+	Append     stats.LatencyHistogram // delta-record append + fsync (epoch-log mode)
 	Total      stats.LatencyHistogram // full Sync, all stages
 }
 
@@ -169,12 +228,18 @@ func New(cfg Config) *Device {
 	if cfg.Size <= 0 {
 		panic("pmem: device size must be positive")
 	}
+	ckptBytes := cfg.EpochLogCheckpointBytes
+	if ckptBytes <= 0 {
+		ckptBytes = DefaultCheckpointBytes
+	}
 	return &Device{
-		cfg:     cfg,
-		media:   make([]byte, cfg.Size),
-		faultFn: cfg.FaultFn,
-		readBW:  sim.NewBandwidthMeter("pm-read", cfg.ReadBandwidth),
-		writeBW: sim.NewBandwidthMeter("pm-write", cfg.WriteBandwidth),
+		cfg:        cfg,
+		media:      make([]byte, cfg.Size),
+		faultFn:    cfg.FaultFn,
+		trackDirty: cfg.EpochLog,
+		ckptBytes:  ckptBytes,
+		readBW:     sim.NewBandwidthMeter("pm-read", cfg.ReadBandwidth),
+		writeBW:    sim.NewBandwidthMeter("pm-write", cfg.WriteBandwidth),
 	}
 }
 
@@ -185,6 +250,15 @@ func New(cfg Config) *Device {
 // state (Sync republishes the whole image atomically via rename), only
 // leftover garbage that would otherwise accumulate and confuse layout
 // discovery.
+//
+// With cfg.EpochLog the pool file is the checkpoint: after loading it, Open
+// replays the committed delta records from <path>.epochlog/ on top (a torn
+// tail is discarded and reported in ReplayInfo) and attaches the store for
+// appends. Opening a plain full-image pool in epoch-log mode upgrades it
+// seamlessly. The reverse — a full-image open of a pool whose epoch log
+// still holds segments — is refused: the checkpoint alone may be stale, and
+// silently recovering it would lose acked commits. Convert with paxrecover
+// first.
 func Open(path string, cfg Config) (*Device, error) {
 	d := New(cfg)
 	d.path = path
@@ -192,15 +266,35 @@ func Open(path string, cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("pmem: removing stale temp for %s: %w", path, err)
 	}
 	data, err := os.ReadFile(path)
+	exists := true
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		// Fresh pool file; created on first Sync.
+		exists = false // fresh pool file
 	case err != nil:
 		return nil, fmt.Errorf("pmem: open %s: %w", path, err)
 	case len(data) != cfg.Size:
 		return nil, fmt.Errorf("pmem: %s holds %d bytes, config wants %d", path, len(data), cfg.Size)
 	default:
 		copy(d.media, data)
+	}
+	if !cfg.EpochLog {
+		if has, herr := epochlog.HasSegments(path + epochlog.DirSuffix); herr != nil {
+			return nil, fmt.Errorf("pmem: open %s: %w", path, herr)
+		} else if has {
+			return nil, fmt.Errorf("pmem: %s has an epoch log with unconsumed segments; open in epoch-log mode or convert with paxrecover", path)
+		}
+		return d, nil
+	}
+	if !exists {
+		// Publish the zero-filled checkpoint now so the invariant "a delta
+		// pool always has a checkpoint file" holds from the first commit on
+		// (layout discovery and size checks rely on the file existing).
+		if err := d.publishImage(d.media); err != nil {
+			return nil, fmt.Errorf("pmem: open %s: %w", path, err)
+		}
+	}
+	if err := d.openEpochLog(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -240,6 +334,7 @@ func (d *Device) Write(addr uint64, data []byte, at sim.Time) sim.Time {
 	d.checkRange(addr, len(data))
 	d.mu.Lock()
 	copy(d.media[addr:addr+uint64(len(data))], data)
+	d.trackDirtyLocked(addr, len(data))
 	d.Writes.Inc()
 	d.BytesWritten.Add(uint64(len(data)))
 	done := d.writeBW.Transfer(at, len(data))
@@ -291,6 +386,7 @@ func (d *Device) InjectTear(addr uint64, n, validPrefix int) {
 	for i := validPrefix; i < n; i++ {
 		d.media[addr+uint64(i)] = 0xCD
 	}
+	d.trackDirtyLocked(addr, n)
 }
 
 // syncTempSuffix names the staging file Sync writes before renaming it over
@@ -331,13 +427,40 @@ func (d *Device) Sync() error {
 		if err := d.faultAt(FaultFileSync); err != nil {
 			return fmt.Errorf("pmem: sync: %w", err)
 		}
+		// No file to persist, but keep the write-amplification accounting
+		// honest: in epoch-log mode the cost modeled is the delta record the
+		// dirty ranges would encode to; in full-image mode it is the image.
+		if d.trackDirty {
+			d.mu.Lock()
+			ranges, _ := d.takeDirtyLocked()
+			d.mu.Unlock()
+			n := epochlog.RecordSize(ranges)
+			d.lastSyncBytes.Store(n)
+			d.SyncBytes.Add(uint64(n))
+		} else {
+			d.lastSyncBytes.Store(int64(d.cfg.Size))
+			d.SyncBytes.Add(uint64(d.cfg.Size))
+		}
 		d.SyncTimings.Total.Since(start)
 		return nil
 	}
+	if d.store != nil {
+		return d.syncDelta(start)
+	}
+	// Full-image mode. publishMu serializes concurrent Syncs (they share one
+	// staging file) and guards the reused scratch buffer — the former
+	// per-call snapshot allocation was the dominant allocation churn on the
+	// commit path, and it is still worth avoiding now that this is the cold
+	// checkpoint/fallback path.
+	d.publishMu.Lock()
+	defer d.publishMu.Unlock()
 	d.mu.Lock()
-	snapshot := make([]byte, len(d.media))
-	copy(snapshot, d.media)
+	if d.scratch == nil {
+		d.scratch = make([]byte, len(d.media))
+	}
+	copy(d.scratch, d.media)
 	d.mu.Unlock()
+	snapshot := d.scratch
 	tmp := d.path + syncTempSuffix
 	if err := d.writeImage(tmp, snapshot); err != nil {
 		os.Remove(tmp) // best effort; Open clears leftovers too
@@ -358,6 +481,8 @@ func (d *Device) Sync() error {
 		return fmt.Errorf("pmem: sync %s: directory: %w", d.path, err)
 	}
 	d.SyncTimings.DirSync.Since(dirStart)
+	d.lastSyncBytes.Store(int64(len(snapshot)))
+	d.SyncBytes.Add(uint64(len(snapshot)))
 	d.SyncTimings.Total.Since(start)
 	return nil
 }
@@ -398,7 +523,13 @@ func (d *Device) syncDir() error {
 	if err := d.faultAt(FaultDirSync); err != nil {
 		return err
 	}
-	dir, err := os.Open(filepath.Dir(d.path))
+	return fsyncDir(filepath.Dir(d.path))
+}
+
+// fsyncDir fsyncs one directory (no fault hook; callers that model faults
+// wrap it).
+func fsyncDir(path string) error {
+	dir, err := os.Open(path)
 	if err != nil {
 		return err
 	}
@@ -428,6 +559,7 @@ func (d *Device) Restore(image []byte) {
 		panic(fmt.Sprintf("pmem: restore image of %d bytes onto device of %d", len(image), len(d.media)))
 	}
 	copy(d.media, image)
+	d.trackDirtyLocked(0, len(image))
 }
 
 // ReadBandwidthMeter exposes the read channel for utilization reporting.

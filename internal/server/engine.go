@@ -213,6 +213,12 @@ type EngineStats struct {
 	AckNS         stats.LatencyHistogram
 	CommitNS      stats.LatencyHistogram
 
+	// DeltaBytes is bytes persisted per group commit (a size histogram on
+	// the latency machinery): the delta record in epoch-log mode, the full
+	// image otherwise. Its mean over the pool size is the engine's write
+	// amplification, exported as paxserve_epoch_amplification.
+	DeltaBytes stats.LatencyHistogram
+
 	// GET service time, split by read-index hit/miss (queued reads land in
 	// the same pair, classified by whether the key was found).
 	GetHitNS  stats.LatencyHistogram
@@ -293,6 +299,16 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	e.reg.RegisterLatencyHistogram("paxserve_commit_ns", &e.stats.CommitNS)
 	e.reg.RegisterLatencyHistogram("paxserve_get_hit_ns", &e.stats.GetHitNS)
 	e.reg.RegisterLatencyHistogram("paxserve_get_miss_ns", &e.stats.GetMissNS)
+	e.reg.RegisterLatencyHistogram("paxserve_epoch_delta_bytes", &e.stats.DeltaBytes)
+	e.reg.Register("paxserve_epoch_amplification", func() float64 {
+		// Mean bytes persisted per commit over the pool size: ≈1.0 in
+		// full-image mode, ≪1 under the delta epoch store.
+		n := e.stats.DeltaBytes.Count()
+		if n == 0 {
+			return 0
+		}
+		return float64(e.stats.DeltaBytes.Sum()) / float64(n) / float64(e.pool.MediaSize())
+	})
 	e.reg.Register("paxserve_sealed", func() float64 {
 		if e.SealErr() != nil {
 			return 1
@@ -685,6 +701,9 @@ func (e *Engine) commit(waiters []*request, batchStart time.Time, sealNS int64) 
 	// being on the medium, which is what the persist stage means.
 	rec.PersistNS = int64(time.Since(persistStart))
 	rec.Epoch = st.Epoch
+	rec.DeltaBytes = st.PersistedBytes
+	rec.PoolBytes = int64(e.pool.MediaSize())
+	e.stats.DeltaBytes.Observe(st.PersistedBytes)
 	e.stats.GroupCommits.Inc()
 	if len(waiters) > 0 {
 		e.stats.BatchMax.StoreMax(uint64(len(waiters)))

@@ -55,6 +55,12 @@ type CommitRecord struct {
 	PersistNS int64 `json:"persist_ns"`
 	AckNS     int64 `json:"ack_ns"`
 	TotalNS   int64 `json:"total_ns"`
+	// DeltaBytes is how many bytes the commit's media sync persisted (the
+	// delta record under the epoch store, the full image otherwise);
+	// PoolBytes is the pool's media size. Their ratio is this commit's write
+	// amplification.
+	DeltaBytes int64 `json:"delta_bytes"`
+	PoolBytes  int64 `json:"pool_bytes"`
 	// Err is the durability error for a failed commit ("" on success). A
 	// failed commit seals the engine, so it is always the last record.
 	Err string `json:"err,omitempty"`

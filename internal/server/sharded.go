@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"pax"
+	"pax/internal/epochlog"
 	"pax/internal/stats"
 )
 
@@ -86,6 +88,11 @@ func DiscoverShards(path string) (int, error) {
 		if strings.HasSuffix(m, ".tmp") {
 			// Staging litter from a crash mid-Sync (pmem writes <file>.tmp
 			// then renames). Open cleans it per shard; it is not a shard.
+			continue
+		}
+		if strings.HasSuffix(m, epochlog.DirSuffix) {
+			// A shard's delta-epoch-store segment directory
+			// (<shard>.epochlog), not a shard of its own.
 			continue
 		}
 		k, err := strconv.Atoi(strings.TrimPrefix(m, path+".shard-"))
@@ -188,7 +195,19 @@ func removeShardFiles(path string) error {
 		matches = append(matches, path)
 	}
 	for _, m := range matches {
-		if err := os.Remove(m); err != nil {
+		// Each pool file may have an epoch-log segment directory next to it
+		// (which the glob also matches directly); a reformat must take it
+		// too, or stale deltas would replay onto the fresh pool.
+		if strings.HasSuffix(m, epochlog.DirSuffix) {
+			if err := os.RemoveAll(m); err != nil {
+				return fmt.Errorf("server: reformatting: %w", err)
+			}
+			continue
+		}
+		if err := os.RemoveAll(m + epochlog.DirSuffix); err != nil {
+			return fmt.Errorf("server: reformatting: %w", err)
+		}
+		if err := os.Remove(m); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("server: reformatting: %w", err)
 		}
 	}
@@ -197,6 +216,14 @@ func removeShardFiles(path string) error {
 
 // NumShards reports the shard count.
 func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// MediaSize reports the per-shard pool media size in bytes (every shard is
+// created with the same geometry).
+func (s *ShardedEngine) MediaSize() int { return s.shards[0].pool.MediaSize() }
+
+// EpochLogEnabled reports whether the shards persist through the
+// log-structured delta epoch store rather than full-image publishes.
+func (s *ShardedEngine) EpochLogEnabled() bool { return s.shards[0].pool.EpochLogEnabled() }
 
 // ShardFor reports which shard owns key. The mapping is a pure function of
 // the key bytes and the shard count — FNV-1a mod N — so it is stable across

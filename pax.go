@@ -23,6 +23,7 @@ import (
 
 	"pax/internal/core"
 	"pax/internal/device"
+	"pax/internal/epochlog"
 	"pax/internal/hbm"
 	"pax/internal/pmem"
 	"pax/internal/sim"
@@ -59,6 +60,15 @@ type Options struct {
 	// Overwrite lets CreatePool reformat a path that already holds a file.
 	// Without it, CreatePool refuses to clobber existing pools.
 	Overwrite bool
+	// EpochLog selects the log-structured delta epoch store: each Persist
+	// appends and fsyncs one delta record (dirty byte ranges only) to
+	// <path>.epochlog/ instead of republishing the full pool image, which
+	// becomes a background checkpoint. Commit cost is O(dirty bytes), not
+	// O(pool bytes). Opening a plain pool with EpochLog upgrades it in
+	// place; opening an epoch-log pool without it is refused (convert with
+	// paxrecover). Ignored semantically for in-memory pools, which still
+	// track dirty ranges so the delta size is observable in stats.
+	EpochLog bool
 }
 
 // DefaultOptions returns the default pool configuration.
@@ -127,6 +137,11 @@ type PersistStats struct {
 	LinesSnooped, LinesWritten int
 	// SimulatedLatency is the virtual time Persist took.
 	SimulatedLatency sim.Time
+	// PersistedBytes is how many bytes the media commit actually wrote: the
+	// delta record size in epoch-log mode, the full image size in full-image
+	// mode. Dividing by the pool size gives the commit's write
+	// amplification.
+	PersistedBytes int64
 }
 
 // RecoveryInfo describes what opening the pool had to repair.
@@ -148,6 +163,17 @@ func poolSize(o core.Options) int {
 	return int(core.HeaderSize + o.LogSize + o.DataSize)
 }
 
+// pmemConfig builds the media-device config for this pool: the default
+// Optane-class device plus the epoch-log selection and the location of the
+// pool's durable-epoch cell (so delta records are stamped with the epoch
+// they commit).
+func (o Options) pmemConfig(size int) pmem.Config {
+	cfg := pmem.DefaultConfig(size)
+	cfg.EpochLog = o.EpochLog
+	cfg.EpochCellOffset = core.EpochCellOffset
+	return cfg
+}
+
 // CreatePool formats a new pool. With a non-empty path the pool is backed by
 // that file; with an empty path it is in-memory. An existing file at path is
 // an error unless opts.Overwrite is set — a pool is durable state, and
@@ -159,7 +185,7 @@ func CreatePool(path string, opts Options) (*Pool, error) {
 	}
 	var pm *pmem.Device
 	if path == "" {
-		pm = pmem.New(pmem.DefaultConfig(poolSize(copts)))
+		pm = pmem.New(opts.pmemConfig(poolSize(copts)))
 	} else {
 		if _, err := os.Stat(path); err == nil {
 			if !opts.Overwrite {
@@ -171,7 +197,12 @@ func CreatePool(path string, opts Options) (*Pool, error) {
 				return nil, fmt.Errorf("pax: reformatting pool: %w", err)
 			}
 		}
-		pm, err = pmem.Open(path, pmem.DefaultConfig(poolSize(copts)))
+		// Formatting means a fresh pool: stale epoch-log segments from a
+		// previous life of this path must never replay onto the new image.
+		if err := os.RemoveAll(path + epochlog.DirSuffix); err != nil {
+			return nil, fmt.Errorf("pax: clearing stale epoch log: %w", err)
+		}
+		pm, err = pmem.Open(path, opts.pmemConfig(poolSize(copts)))
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +227,7 @@ func OpenPool(path string, opts Options) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pax: opening pool: %w", err)
 	}
-	pm, err := pmem.Open(path, pmem.DefaultConfig(int(fi.Size())))
+	pm, err := pmem.Open(path, opts.pmemConfig(int(fi.Size())))
 	if err != nil {
 		return nil, err
 	}
@@ -231,12 +262,16 @@ func MapPool(path string, opts Options) (*Pool, error) {
 // durable. The stats are returned either way for their timing fields.
 func (p *Pool) Persist() (PersistStats, error) {
 	rep, err := p.inner.Persist()
-	return PersistStats{
+	st := PersistStats{
 		Epoch:            rep.Epoch,
 		LinesSnooped:     rep.LinesSnooped,
 		LinesWritten:     rep.LinesWritten,
 		SimulatedLatency: rep.Done,
-	}, err
+	}
+	if err == nil {
+		st.PersistedBytes = p.pm.LastSyncBytes()
+	}
+	return st, err
 }
 
 // PersistAsync is the §6 non-blocking persist: the snapshot point is now,
@@ -245,12 +280,16 @@ func (p *Pool) Persist() (PersistStats, error) {
 // for Persist: the epoch is not durable on media.
 func (p *Pool) PersistAsync() (PersistStats, error) {
 	rep, err := p.inner.PersistPipelined()
-	return PersistStats{
+	st := PersistStats{
 		Epoch:            rep.Epoch,
 		LinesSnooped:     rep.LinesSnooped,
 		LinesWritten:     rep.LinesWritten,
 		SimulatedLatency: rep.Done,
-	}, err
+	}
+	if err == nil {
+		st.PersistedBytes = p.pm.LastSyncBytes()
+	}
+	return st, err
 }
 
 // Recovery reports what opening this pool repaired (zero after CreatePool).
@@ -261,6 +300,14 @@ func (p *Pool) Recovery() RecoveryInfo {
 
 // Epoch reports the current (not yet durable) epoch number.
 func (p *Pool) Epoch() uint64 { return p.inner.Epoch() }
+
+// MediaSize reports the total media footprint of the pool (header + undo log
+// + data region) — the denominator of the write-amplification metric.
+func (p *Pool) MediaSize() int { return p.pm.Size() }
+
+// EpochLogEnabled reports whether this pool persists through the delta
+// epoch store.
+func (p *Pool) EpochLogEnabled() bool { return p.pm.Config().EpochLog }
 
 // DurableEpoch reports the last committed epoch.
 func (p *Pool) DurableEpoch() uint64 { return p.inner.DurableEpoch() }
@@ -391,11 +438,36 @@ func (p *Pool) StatsRegistry() *stats.Registry {
 	r.RegisterLatencyHistogram("pax_persist_device_ns", &t.DeviceNS)
 	r.RegisterLatencyHistogram("pax_persist_sync_ns", &t.SyncNS)
 	r.RegisterLatencyHistogram("pax_persist_log_wait_ps", &t.LogWaitPS)
+	// Bytes per media commit (a size histogram on the latency machinery):
+	// pinned at the pool size in full-image mode, O(dirty) in epoch-log mode.
+	r.RegisterLatencyHistogram("pax_persist_bytes", &t.SyncBytes)
 	st := &p.pm.SyncTimings
 	r.RegisterLatencyHistogram("pax_sync_write_image_ns", &st.WriteImage)
 	r.RegisterLatencyHistogram("pax_sync_fsync_ns", &st.FileSync)
 	r.RegisterLatencyHistogram("pax_sync_rename_ns", &st.Rename)
 	r.RegisterLatencyHistogram("pax_sync_dirsync_ns", &st.DirSync)
+	r.RegisterLatencyHistogram("pax_sync_append_ns", &st.Append)
 	r.RegisterLatencyHistogram("pax_sync_ns", &st.Total)
+
+	// Epoch-store counters. pax_sync_bytes_total accumulates in both modes,
+	// so the A/B write-amplification comparison reads the same gauge; the
+	// checkpoint and segment gauges only move in epoch-log mode.
+	r.Register("pax_sync_bytes_total", func() float64 { return float64(p.pm.SyncBytes.Load()) })
+	r.Register("pax_sync_last_bytes", func() float64 { return float64(p.pm.LastSyncBytes()) })
+	r.Register("pax_epoch_checkpoints_total", func() float64 { return float64(p.pm.Checkpoints.Load()) })
+	r.Register("pax_epoch_checkpoint_bytes_total", func() float64 { return float64(p.pm.CheckpointBytes.Load()) })
+	r.Register("pax_epoch_checkpoint_failures_total", func() float64 { return float64(p.pm.CheckpointFailures.Load()) })
+	r.Register("pax_epoch_log_live_bytes", func() float64 {
+		if el := p.pm.EpochLog(); el != nil {
+			return float64(el.LiveBytes())
+		}
+		return 0
+	})
+	r.Register("pax_epoch_log_segments", func() float64 {
+		if el := p.pm.EpochLog(); el != nil {
+			return float64(len(el.Segments()))
+		}
+		return 0
+	})
 	return r
 }
