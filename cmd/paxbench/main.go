@@ -10,6 +10,7 @@
 //	paxbench -loadgen -shards 1,2,4,8 -format json -out BENCH_loadgen.json
 //	paxbench -loadgen -read-ratio 0.9      # GET-heavy mix on the read index
 //	paxbench -loadgen -read-ratio 0.9 -queued-reads # same mix, pre-index path
+//	paxbench -loadgen -ack-policy both -inflight 1,2,4 # ack policy x pipeline window
 //
 // Scales: "paper" uses a hash table far larger than the simulated LLC and
 // 100k measured operations per system; "quick" is a seconds-long smoke run.
@@ -23,7 +24,11 @@
 // overlaps that latency. -read-ratio mixes GETs into the workload (0.9 models
 // a read-heavy serving tier); GETs are served from the engine's volatile read
 // index unless -queued-reads routes them through the writer queue, which is
-// the pre-index behavior kept as the read-path A/B baseline. The default
+// the pre-index behavior kept as the read-path A/B baseline. -ack-policy
+// selects how writes are acked — "durable" (ack when the group commit
+// reaches media), "apply" (ack when applied and read-index-visible), or
+// "both" to A/B them — and -inflight sweeps the commit-pipeline window
+// (sealed epochs in flight per shard; 1 is the serial baseline). The default
 // table output
 // prints one row per shard count plus the merged metrics registry as
 // `name value` lines (the same text the STATS wire request returns);
@@ -64,6 +69,8 @@ func main() {
 		dataSizes  = flag.String("data-sizes", "", "loadgen: comma-separated per-shard vPM data sizes in bytes to sweep (e.g. 67108864,134217728; empty = the 32 MiB default)")
 		epochLog   = flag.Bool("epoch-log", false, "loadgen: persist commits through the log-structured delta epoch store instead of full-image republish")
 		epochLogAB = flag.Bool("epoch-log-ab", false, "loadgen: run every configuration in both persist modes (full-image then delta), overriding -epoch-log")
+		ackPol     = flag.String("ack-policy", "durable", "loadgen: ack policy to run: durable | apply | both")
+		inflight   = flag.String("inflight", "0", "loadgen: comma-separated commit-pipeline windows to sweep (1 = serial baseline, 0 = engine default)")
 		jsonOut    = flag.String("out", "", "loadgen: also write the JSON records to this file")
 	)
 	flag.Parse()
@@ -82,6 +89,8 @@ func main() {
 			dataSizes:  *dataSizes,
 			epochLog:   *epochLog,
 			epochLogAB: *epochLogAB,
+			ackPolicy:  *ackPol,
+			inflight:   *inflight,
 			format:     *format,
 			jsonOut:    *jsonOut,
 		}
@@ -156,6 +165,8 @@ type loadgenConfig struct {
 	dataSizes  string
 	epochLog   bool
 	epochLogAB bool
+	ackPolicy  string
+	inflight   string
 	format     string
 	jsonOut    string
 }
@@ -186,36 +197,62 @@ func runLoadgen(cfg loadgenConfig) error {
 	if cfg.epochLogAB {
 		modes = []bool{false, true}
 	}
+	var policies []bool // AckOnApply values to sweep
+	switch cfg.ackPolicy {
+	case "durable":
+		policies = []bool{false}
+	case "apply":
+		policies = []bool{true}
+	case "both":
+		policies = []bool{false, true}
+	default:
+		return fmt.Errorf("bad -ack-policy %q (want durable, apply, or both)", cfg.ackPolicy)
+	}
+	var windows []int
+	for _, f := range strings.Split(cfg.inflight, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad -inflight value %q (want non-negative ints like 1,2,4; 0 = engine default)", f)
+		}
+		windows = append(windows, n)
+	}
 	var (
 		records []benchkit.LoadJSON
 		results []benchkit.LoadResult
 	)
 	for _, epochLog := range modes {
 		for _, dataSize := range sizes {
-			for _, n := range counts {
-				spec := benchkit.LoadSpec{
-					Clients:       cfg.clients,
-					OpsPerClient:  cfg.ops,
-					ValueBytes:    64,
-					ReadRatio:     cfg.readRatio,
-					QueuedReads:   cfg.queued,
-					MaxBatch:      cfg.maxBatch,
-					MaxDelay:      cfg.maxDelay,
-					Shards:        n,
-					CommitLatency: cfg.commitLat,
-					PoolDir:       cfg.poolDir,
-					DataSize:      dataSize,
-					EpochLog:      epochLog,
+			for _, apply := range policies {
+				for _, window := range windows {
+					for _, n := range counts {
+						spec := benchkit.LoadSpec{
+							Clients:            cfg.clients,
+							OpsPerClient:       cfg.ops,
+							ValueBytes:         64,
+							ReadRatio:          cfg.readRatio,
+							QueuedReads:        cfg.queued,
+							MaxBatch:           cfg.maxBatch,
+							MaxDelay:           cfg.maxDelay,
+							Shards:             n,
+							CommitLatency:      cfg.commitLat,
+							PoolDir:            cfg.poolDir,
+							DataSize:           dataSize,
+							EpochLog:           epochLog,
+							MaxInflightCommits: window,
+							AckOnApply:         apply,
+						}
+						if cfg.readRatio == 0 {
+							spec.GetEveryN = 4
+						}
+						res, err := benchkit.RunLoad(spec)
+						if err != nil {
+							return fmt.Errorf("%d shards (epochLog=%v, data=%d, apply=%v, inflight=%d): %w",
+								n, epochLog, dataSize, apply, window, err)
+						}
+						records = append(records, res.JSON())
+						results = append(results, res)
+					}
 				}
-				if cfg.readRatio == 0 {
-					spec.GetEveryN = 4
-				}
-				res, err := benchkit.RunLoad(spec)
-				if err != nil {
-					return fmt.Errorf("%d shards (epochLog=%v, data=%d): %w", n, epochLog, dataSize, err)
-				}
-				records = append(records, res.JSON())
-				results = append(results, res)
 			}
 		}
 	}
@@ -235,13 +272,14 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	t := stats.NewTable("loadgen", "mode", "pool MiB", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms", "KiB/commit p99", "amp")
+	t := stats.NewTable("loadgen", "mode", "ack", "w", "pool MiB", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms", "KiB/commit p99", "amp")
 	for _, res := range results {
 		mode := "full-image"
 		if res.EpochLog {
 			mode = "delta"
 		}
-		t.AddRowf(mode, float64(res.PoolBytes)/(1<<20), res.JSON().Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
+		j := res.JSON()
+		t.AddRowf(mode, j.AckPolicy, j.MaxInflightCommits, float64(res.PoolBytes)/(1<<20), j.Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
 			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput,
 			float64(res.AckP50.Microseconds())/1e3, float64(res.AckP99.Microseconds())/1e3,
 			res.CommitP99Bytes/1024, res.WriteAmplification)

@@ -10,6 +10,19 @@
 //	paxserve -pool ./kv.pool -overwrite      # reformat an existing pool
 //	paxserve -pool ./kv.pool -shards 4       # partition the keyspace 4 ways
 //	paxserve -pool ./kv.pool -debug-addr 127.0.0.1:7422   # HTTP observability
+//	paxserve -pool ./kv.pool -ack-policy apply            # acks at apply time
+//
+// Group commits run through a three-stage pipeline per shard: while sealed
+// epochs' media commits are in flight, the writer keeps applying and sealing
+// later epochs at host speed, with up to -max-inflight-commits media commits
+// overlapping (1 serializes the media — the serial A/B baseline).
+// -ack-policy picks the default
+// durability contract for clients that do not set one per request on the
+// wire: "durable" (the default — every write ack means its epoch reached
+// media) or "apply" (acks return as soon as the write is applied and visible
+// to GETs; durability trails asynchronously, and a crash may lose writes
+// acked under this policy). Per-request wire flags override the daemon
+// default either way.
 //
 // -debug-addr starts an HTTP observability plane on a second listener:
 // /metrics renders the merged metrics registry (counters, gauges, and the
@@ -75,6 +88,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "HTTP observability listener serving /metrics, /trace, and /debug/pprof/ (unauthenticated — bind to localhost; empty disables)")
 		slowCmt   = flag.Duration("slow-commit", server.DefaultSlowCommit, "pin group commits slower than this in the flight recorder (negative disables pinning)")
 		traceN    = flag.Int("trace-depth", server.DefaultTraceDepth, "flight recorder depth in commits, per shard")
+		inflight  = flag.Int("max-inflight-commits", 0, "modeled media commit concurrency per shard (commit pipeline window; 1 = serial media, 0 = default 2)")
+		ackPolicy = flag.String("ack-policy", "durable", "default ack policy for requests without an explicit wire flag: durable (ack when the group commit reaches media) | apply (ack when applied and read-index-visible; durability asynchronous)")
 	)
 	flag.Parse()
 	if *poolPath == "" {
@@ -125,18 +140,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var defaultAck server.AckPolicy
+	switch *ackPolicy {
+	case "durable":
+		defaultAck = server.AckDurable
+	case "apply":
+		defaultAck = server.AckApply
+	default:
+		fmt.Fprintf(os.Stderr, "paxserve: -ack-policy must be durable or apply, got %q\n", *ackPolicy)
+		os.Exit(2)
+	}
+
 	eng, err := server.OpenSharded(*poolPath, n, opts, *slot, server.Config{
-		MaxBatch:         *maxBatch,
-		MaxDelay:         *maxDelay,
-		QueueDepth:       *queue,
-		EnqueueTimeout:   *reqTmo,
-		Async:            *async,
-		CommitLatency:    *commitLat,
-		QueuedReads:      *queued,
-		CommitRetries:    *retries,
-		CommitRetryDelay: *retryDly,
-		SlowCommit:       *slowCmt,
-		TraceDepth:       *traceN,
+		MaxBatch:           *maxBatch,
+		MaxDelay:           *maxDelay,
+		QueueDepth:         *queue,
+		EnqueueTimeout:     *reqTmo,
+		Async:              *async,
+		CommitLatency:      *commitLat,
+		QueuedReads:        *queued,
+		CommitRetries:      *retries,
+		CommitRetryDelay:   *retryDly,
+		SlowCommit:         *slowCmt,
+		TraceDepth:         *traceN,
+		MaxInflightCommits: *inflight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
@@ -155,6 +182,7 @@ func main() {
 		os.Exit(1)
 	}
 	srv := server.NewServer(eng)
+	srv.DefaultAckPolicy = defaultAck
 	srv.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 
 	if *debugAddr != "" {

@@ -65,6 +65,15 @@ type LoadSpec struct {
 	// EpochLog selects the log-structured delta epoch store for the pools
 	// (pax.Options.EpochLog); false is the full-image baseline.
 	EpochLog bool
+	// MaxInflightCommits bounds the engine's commit pipeline (see
+	// server.Config.MaxInflightCommits): 1 is the serial A/B baseline, 0
+	// takes the engine default (2).
+	MaxInflightCommits int
+	// AckOnApply issues every write under server.AckApply: acked when
+	// applied and read-index-visible, durability asynchronous. False is the
+	// ack-on-durable default — every ack means the write's group commit
+	// reached media.
+	AckOnApply bool
 }
 
 // LoadResult summarizes a run.
@@ -98,12 +107,16 @@ type LoadResult struct {
 	// CommitP50Bytes/CommitP99Bytes are per-commit persisted-bytes quantiles
 	// as the serving engine observed them (paxserve_epoch_delta_bytes, which
 	// excludes the one-time pool-format sync): O(dirty) under the epoch
-	// store, the pool size under full-image. WriteAmplification is the mean
-	// persisted bytes per serving commit divided by the pool size — the
-	// fraction of the pool each commit rewrites (1.0 for full-image by
-	// construction).
+	// store, the pool size under full-image. They come from a log-bucketed
+	// histogram, so each is the matching bucket's upper bound — up to ~3%
+	// above the true value (a 50331648-byte full image reports as 51380223).
+	// CommitMeanBytes has no such error: it is the histogram's exact
+	// sum/count. WriteAmplification is CommitMeanBytes divided by the pool
+	// size — the fraction of the pool each commit rewrites (1.0 for
+	// full-image by construction).
 	CommitP50Bytes     float64
 	CommitP99Bytes     float64
+	CommitMeanBytes    float64
 	WriteAmplification float64
 }
 
@@ -111,31 +124,42 @@ type LoadResult struct {
 // `paxbench -loadgen -format json` emits so the perf trajectory is tracked
 // across PRs.
 type LoadJSON struct {
-	Shards            int     `json:"shards"`
-	Clients           int     `json:"clients"`
-	OpsPerClient      int     `json:"ops_per_client"`
-	MaxBatch          int     `json:"max_batch"`
-	CommitLatencyMS   float64 `json:"commit_latency_ms"`
-	ReadRatio         float64 `json:"read_ratio"`
-	ReadPath          string  `json:"read_path"` // "index" | "queued"
-	AckedWrites       uint64  `json:"acked_writes"`
-	Gets              uint64  `json:"gets"`
-	Snapshots         uint64  `json:"snapshots"`
-	BatchMax          uint64  `json:"batch_max"`
-	Amortization      float64 `json:"amortization"`
-	WallMillis        float64 `json:"wall_ms"`
-	AckedWritesPerSec float64 `json:"acked_writes_per_sec"`
-	AckedOpsPerSec    float64 `json:"acked_ops_per_sec"`
-	AckP50Micros      float64 `json:"ack_p50_us"`
-	AckP95Micros      float64 `json:"ack_p95_us"`
-	AckP99Micros      float64 `json:"ack_p99_us"`
+	Shards          int     `json:"shards"`
+	Clients         int     `json:"clients"`
+	OpsPerClient    int     `json:"ops_per_client"`
+	MaxBatch        int     `json:"max_batch"`
+	CommitLatencyMS float64 `json:"commit_latency_ms"`
+	ReadRatio       float64 `json:"read_ratio"`
+	ReadPath        string  `json:"read_path"` // "index" | "queued"
+	// AckPolicy is "durable" (acks mean on-media) or "apply" (acks mean
+	// applied and read-index-visible, durability async);
+	// MaxInflightCommits is the commit-pipeline window the run used (1 =
+	// serial baseline).
+	AckPolicy          string  `json:"ack_policy"`
+	MaxInflightCommits int     `json:"max_inflight_commits"`
+	AckedWrites        uint64  `json:"acked_writes"`
+	Gets               uint64  `json:"gets"`
+	Snapshots          uint64  `json:"snapshots"`
+	BatchMax           uint64  `json:"batch_max"`
+	Amortization       float64 `json:"amortization"`
+	WallMillis         float64 `json:"wall_ms"`
+	AckedWritesPerSec  float64 `json:"acked_writes_per_sec"`
+	AckedOpsPerSec     float64 `json:"acked_ops_per_sec"`
+	AckP50Micros       float64 `json:"ack_p50_us"`
+	AckP95Micros       float64 `json:"ack_p95_us"`
+	AckP99Micros       float64 `json:"ack_p99_us"`
 	// Epoch-store A/B fields: which persist mode ran, the per-shard pool
-	// size, per-commit persisted-bytes quantiles, and the mean fraction of
-	// the pool rewritten per commit.
+	// size, per-commit persisted bytes, and the mean fraction of the pool
+	// rewritten per commit. commit_p50_bytes/commit_p99_bytes are log-bucket
+	// upper bounds (up to ~3% above the true value — a 48 MiB full image
+	// reports 51380223, not 50331648); commit_mean_bytes is exact
+	// (histogram sum/count), so use it when the absolute byte count
+	// matters.
 	EpochLog           bool    `json:"epoch_log"`
 	PoolBytes          int64   `json:"pool_bytes"`
 	CommitP50Bytes     float64 `json:"commit_p50_bytes"`
 	CommitP99Bytes     float64 `json:"commit_p99_bytes"`
+	CommitMeanBytes    float64 `json:"commit_mean_bytes"`
 	WriteAmplification float64 `json:"write_amplification"`
 }
 
@@ -149,6 +173,14 @@ func (r LoadResult) JSON() LoadJSON {
 	if r.Spec.QueuedReads {
 		path = "queued"
 	}
+	policy := "durable"
+	if r.Spec.AckOnApply {
+		policy = "apply"
+	}
+	inflight := r.Spec.MaxInflightCommits
+	if inflight <= 0 {
+		inflight = 2 // the engine default (server.Config.withDefaults)
+	}
 	return LoadJSON{
 		Shards:             shards,
 		Clients:            r.Spec.Clients,
@@ -157,6 +189,8 @@ func (r LoadResult) JSON() LoadJSON {
 		CommitLatencyMS:    float64(r.Spec.CommitLatency.Microseconds()) / 1e3,
 		ReadRatio:          r.Spec.ReadRatio,
 		ReadPath:           path,
+		AckPolicy:          policy,
+		MaxInflightCommits: inflight,
 		AckedWrites:        r.AckedWrites,
 		Gets:               r.Gets,
 		Snapshots:          r.GroupCommits,
@@ -172,6 +206,7 @@ func (r LoadResult) JSON() LoadJSON {
 		PoolBytes:          r.PoolBytes,
 		CommitP50Bytes:     r.CommitP50Bytes,
 		CommitP99Bytes:     r.CommitP99Bytes,
+		CommitMeanBytes:    r.CommitMeanBytes,
 		WriteAmplification: r.WriteAmplification,
 	}
 }
@@ -203,11 +238,12 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 	eng, err := server.OpenSharded(path, shards, opts,
 		0, server.Config{
-			MaxBatch:      spec.MaxBatch,
-			MaxDelay:      spec.MaxDelay,
-			Async:         spec.Async,
-			CommitLatency: spec.CommitLatency,
-			QueuedReads:   spec.QueuedReads,
+			MaxBatch:           spec.MaxBatch,
+			MaxDelay:           spec.MaxDelay,
+			Async:              spec.Async,
+			CommitLatency:      spec.CommitLatency,
+			QueuedReads:        spec.QueuedReads,
+			MaxInflightCommits: spec.MaxInflightCommits,
 		})
 	if err != nil {
 		return LoadResult{}, err
@@ -218,6 +254,10 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	value := make([]byte, spec.ValueBytes)
 	for i := range value {
 		value[i] = byte('a' + i%26)
+	}
+	policy := server.AckDurable
+	if spec.AckOnApply {
+		policy = server.AckApply
 	}
 	start := time.Now()
 	var (
@@ -251,7 +291,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				key := []byte(fmt.Sprintf("c%04d-%06d", c, wrote))
 				wrote++
 				t0 := time.Now()
-				if _, err := eng.Put(key, value); err != nil {
+				if _, err := eng.PutPolicy(key, value, policy); err != nil {
 					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 					return
 				}
@@ -282,9 +322,11 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		return LoadResult{}, err
 	}
 	ack := ackLat.Snapshot()
+	// Durable runs count acks at commit time (AckedWrites); apply runs count
+	// them at apply time (AckedOnApply). Either way it is one ack per write.
 	res := LoadResult{
 		Spec:           spec,
-		AckedWrites:    agg.AckedWrites,
+		AckedWrites:    agg.AckedWrites + agg.AckedOnApply,
 		Gets:           agg.Gets,
 		GroupCommits:   agg.GroupCommits,
 		BatchMax:       agg.BatchMax,
@@ -301,8 +343,11 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if res.GroupCommits > 0 {
 		res.Amortization = float64(res.AckedWrites) / float64(res.GroupCommits)
 	}
-	if n := metrics["paxserve_epoch_delta_bytes_count"]; n > 0 && poolBytes > 0 {
-		res.WriteAmplification = metrics["paxserve_epoch_delta_bytes_sum"] / n / float64(poolBytes)
+	if n := metrics["paxserve_epoch_delta_bytes_count"]; n > 0 {
+		res.CommitMeanBytes = metrics["paxserve_epoch_delta_bytes_sum"] / n
+		if poolBytes > 0 {
+			res.WriteAmplification = res.CommitMeanBytes / float64(poolBytes)
+		}
 	}
 	if wall > 0 {
 		res.Throughput = float64(res.AckedWrites) / wall.Seconds()
@@ -457,4 +502,57 @@ func Loadgen(cfg Config, sz Sizes) []*stats.Table {
 		}
 	}
 	return []*stats.Table{clientsTable, shardsTable, readTable}
+}
+
+// Ackpipe is the commit-pipeline A/B: one shard, commit-latency-bound
+// (MaxBatch < clients, 2ms modeled media commit), sweeping the pipeline
+// window × ack policy. Under ack-on-durable, window 1 is the serial
+// baseline — one commit in flight, one batch per 2ms — and deeper windows
+// overlap successive commits' media time, so both throughput and the
+// client-observed ack p50 should improve close to linearly until the
+// batch supply runs out. Under ack-on-apply the ack latency decouples
+// from media entirely (sub-millisecond p50 regardless of window); the
+// window then only shapes how far durability lags the acks.
+func Ackpipe(cfg Config, sz Sizes) []*stats.Table {
+	ops := sz.MeasureOps / 30
+	if ops < 20 {
+		ops = 20
+	}
+	table := stats.NewTable("ackpipe: commit pipeline window x ack policy (1 shard, 64 clients, 2ms media commit)",
+		"ack policy", "window", "acked writes", "snapshots", "wall ms", "writes/s", "p50 ack ms", "p99 ack ms", "speedup")
+	var base float64
+	for _, apply := range []bool{false, true} {
+		policy := "durable"
+		if apply {
+			policy = "apply"
+		}
+		for _, window := range []int{1, 2, 4} {
+			res, err := RunLoad(LoadSpec{
+				Clients:            64,
+				OpsPerClient:       ops,
+				ValueBytes:         64,
+				GetEveryN:          4,
+				MaxBatch:           16,
+				MaxDelay:           2 * time.Millisecond,
+				CommitLatency:      2 * time.Millisecond,
+				MaxInflightCommits: window,
+				AckOnApply:         apply,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("benchkit: ackpipe (%s, window %d): %v", policy, window, err))
+			}
+			if !apply && window == 1 {
+				base = res.Throughput
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = res.Throughput / base
+			}
+			table.AddRowf(policy, window, res.AckedWrites, res.GroupCommits,
+				float64(res.Wall.Milliseconds()), res.Throughput,
+				float64(res.AckP50.Microseconds())/1e3,
+				float64(res.AckP99.Microseconds())/1e3, speedup)
+		}
+	}
+	return []*stats.Table{table}
 }

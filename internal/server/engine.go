@@ -11,6 +11,37 @@
 // concurrent writers therefore share one snapshot's cost, the same
 // amortization that makes PAX epochs (and Snapshot's msync batching) fast.
 //
+// Group commits run as a three-stage pipeline, the serving-path analogue of
+// the paper's epoch pipelining (§6: overlap epoch N's writeback with epoch
+// N+1's execution) and of NearPM's split between ordering at the host and
+// ordering at the device:
+//
+//	sealer    — the writer goroutine: applies requests, collects a batch,
+//	            seals it, and hands it to the persister. The sealer runs at
+//	            host speed: it never waits for modeled media, only for the
+//	            previous batch's snapshot point and — when the pipeline's
+//	            run-ahead buffer is full — for the persister to drain
+//	            (paxserve_pipeline_stall_ns).
+//	persister — issues the snapshot for each sealed batch, in seal order.
+//	            Snapshot points stay serialized (§3.5: a mutex excludes
+//	            applies during the persist call), but the modeled media time
+//	            is not spent here, so snapshots too run at host speed.
+//	acker     — releases each epoch's ack-on-durable waiters, in epoch
+//	            order, once its modeled media commit completes. The acker
+//	            models the device as MaxInflightCommits commit slots, each
+//	            busy for CommitLatency per epoch: commit N's media work
+//	            starts at its persist or when slot N mod W frees, whichever
+//	            is later — so up to W media commits overlap instead of
+//	            serializing.
+//
+// MaxInflightCommits=1 serializes the modeled media — one commit on the
+// device at a time, ack-on-durable pacing identical to the pre-pipeline
+// serial engine — and is the A/B baseline the ackpipe experiment measures
+// against. A failed persist of epoch N fails N's waiters, seals the engine,
+// and fails every later sealed-but-unpersisted batch — an unacked in-flight
+// epoch is legal to abandon (§3.4 recovery rolls it back), but it must never
+// ack. Epochs persisted before N still ack: their syncs already succeeded.
+//
 // Reads do not take that path: §3.5 constrains mutation, not observation, so
 // the writer maintains a volatile read index (readindex.go) it updates at
 // apply time, and Get serves from it directly — a GET never enters the
@@ -22,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pax"
@@ -96,6 +128,17 @@ type Config struct {
 	// TraceDepth is the flight recorder's recent-ring size in commits
 	// (default 256). The pinned ring is DefaultSlowDepth deep.
 	TraceDepth int
+	// MaxInflightCommits is the modeled media commit concurrency: how many
+	// epochs' CommitLatency may overlap on the device at once (default 2).
+	// While epoch N's media commit is outstanding the sealer keeps applying
+	// and sealing later epochs at host speed, and up to W of their modeled
+	// media commits proceed concurrently. 1 serializes the media — the
+	// ack-on-durable pacing of the pre-pipeline serial engine, and the A/B
+	// baseline the ackpipe experiment measures against. The window does not
+	// gate the sealer: applying and snapshotting run ahead of the modeled
+	// media (bounded by the pipeline's run-ahead buffer), which is what
+	// keeps ack-on-apply latency at host speed under load.
+	MaxInflightCommits int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,8 +172,28 @@ func (c Config) withDefaults() Config {
 	if c.TraceDepth <= 0 {
 		c.TraceDepth = DefaultTraceDepth
 	}
+	if c.MaxInflightCommits <= 0 {
+		c.MaxInflightCommits = 2
+	}
 	return c
 }
+
+// AckPolicy selects when a mutation is acknowledged to its caller.
+type AckPolicy uint8
+
+const (
+	// AckDurable acks a mutation only after its group commit reached media:
+	// every ack means durable — the engine's original contract, and the
+	// default.
+	AckDurable AckPolicy = iota
+	// AckApply acks a mutation as soon as it is applied and visible in the
+	// read index, with durability asynchronous (NearPM's at-the-host
+	// ordering split). The ack reports the open epoch the write will commit
+	// in; if the engine crashes before that epoch persists, the acked write
+	// rolls back. Readers were never exposed to the rollback as durable
+	// state — the read index is rebuilt from the recovered pool.
+	AckApply
+)
 
 type opKind byte
 
@@ -157,6 +220,7 @@ type request struct {
 	op         opKind
 	key, value []byte
 	found      bool        // Delete: key was present (carried to the ack)
+	ackOnApply bool        // AckApply: finish at apply time, durability async
 	done       chan result // buffered(1); exactly one result per request
 }
 
@@ -171,7 +235,7 @@ var requestPool = sync.Pool{
 // (and release it) or receive exactly one result from done (and release it).
 func newRequest(op opKind, key, value []byte) *request {
 	r := requestPool.Get().(*request)
-	r.op, r.key, r.value, r.found = op, key, value, false
+	r.op, r.key, r.value, r.found, r.ackOnApply = op, key, value, false, false
 	return r
 }
 
@@ -182,9 +246,45 @@ func (r *request) release() {
 	requestPool.Put(r)
 }
 
+// sealedBatch is one group commit handed from the sealer to the persister:
+// the batch's ack-on-durable waiters, how many mutations it carries
+// (ack-on-apply mutations have no waiter but still need the commit), and
+// how the batch was sealed.
+type sealedBatch struct {
+	waiters   []*request
+	mutations int
+	start     time.Time
+	sealNS    int64
+	inflight  int // pipeline depth at seal time, this batch included
+
+	// snapped is closed by the persister once this batch's snapshot point
+	// has settled (persist issued, or the batch abandoned). The sealer
+	// waits for it before applying the next batch's first mutation, so a
+	// batch's mutations land in exactly its own epoch — the overlap is
+	// media time only, never snapshot points — and the crash contract
+	// stays exact: an unacked ack-on-durable write is never in a durable
+	// epoch, so it always rolls back.
+	snapped chan struct{}
+}
+
+// issuedCommit is a persisted-but-not-yet-acked epoch traveling from the
+// persister to the acker: the snapshot is taken (really synced, in
+// file-backed mode), but the modeled media commit has not completed. The
+// acker assigns it a device slot and sleeps out CommitLatency from
+// max(persisted, slot free), so the media time of successive epochs
+// overlaps up to MaxInflightCommits deep.
+type issuedCommit struct {
+	b         *sealedBatch
+	st        pax.PersistStats
+	rec       CommitRecord
+	issued    time.Time // persist start, for the persist-stage accounting
+	persisted time.Time // persist return: ready for its device slot
+}
+
 // EngineStats are the engine's own counters (the pool's live underneath).
 type EngineStats struct {
-	AckedWrites  stats.Counter // mutations acked durable
+	AckedWrites  stats.Counter // mutations acked durable (at commit)
+	AckedOnApply stats.Counter // mutations acked at apply time (AckApply), durability pending
 	Gets         stats.Counter // reads served (index + queued)
 	GroupCommits stats.Counter // snapshots taken by the writer loop
 	BatchMax     stats.Counter // largest batch committed (gauge-as-counter)
@@ -213,6 +313,12 @@ type EngineStats struct {
 	AckNS         stats.LatencyHistogram
 	CommitNS      stats.LatencyHistogram
 
+	// PipelineStallNS is how long the sealer waited to hand a sealed batch
+	// to the pipeline — 0 when the run-ahead buffer had room, so the count
+	// matches seals and the p99 reflects how often the media backlog
+	// actually pushed back on applying.
+	PipelineStallNS stats.LatencyHistogram
+
 	// DeltaBytes is bytes persisted per group commit (a size histogram on
 	// the latency machinery): the delta record in epoch-log mode, the full
 	// image otherwise. Its mean over the pool size is the engine's write
@@ -238,6 +344,23 @@ type Engine struct {
 
 	reqs chan *request
 	stop chan struct{} // closed by Crash/seal: abandon uncommitted work
+
+	// Pipeline plumbing. poolMu is the §3.5 guard under concurrency: the
+	// sealer holds it per apply, the persister per persist attempt, so no
+	// mutation ever overlaps a snapshot point. sealedq carries sealed
+	// batches sealer→persister and ackq persisted epochs persister→acker.
+	// ackq's capacity is the pipeline's run-ahead buffer: how many
+	// snapshotted epochs may await their modeled media completion before
+	// the sealer is pushed back on (paxserve_pipeline_stall_ns) — the
+	// memory bound on how far applying runs ahead of durability.
+	poolMu  sync.Mutex
+	sealedq chan *sealedBatch
+	ackq    chan *issuedCommit
+	depth   atomic.Int64 // epochs persisting or awaiting modeled media: the inflight-commits gauge
+
+	// lastSealed is the batch whose snapshot point the sealer must wait out
+	// before opening the next batch. Sealer-goroutine-only; no locking.
+	lastSealed *sealedBatch
 
 	// mu guards closed and sealErr. It is never held across a blocking
 	// enqueue — begin registers with inflight under the read lock and
@@ -281,8 +404,11 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	})
 	e.stats.ReadIndexRebuilt.Add(uint64(e.idx.len()))
 	e.reqs = make(chan *request, e.cfg.QueueDepth)
+	e.sealedq = make(chan *sealedBatch, e.cfg.MaxInflightCommits)
+	e.ackq = make(chan *issuedCommit, max(e.cfg.MaxInflightCommits, runAheadCommits))
 	e.reg = pool.StatsRegistry()
 	e.reg.RegisterCounter("paxserve_acked_writes", &e.stats.AckedWrites)
+	e.reg.RegisterCounter("paxserve_acked_on_apply", &e.stats.AckedOnApply)
 	e.reg.RegisterCounter("paxserve_gets", &e.stats.Gets)
 	e.reg.RegisterCounter("paxserve_group_commits", &e.stats.GroupCommits)
 	e.reg.RegisterCounter("paxserve_batch_max", &e.stats.BatchMax)
@@ -297,9 +423,16 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 	e.reg.RegisterLatencyHistogram("paxserve_commit_persist_ns", &e.stats.PersistNS)
 	e.reg.RegisterLatencyHistogram("paxserve_commit_ack_ns", &e.stats.AckNS)
 	e.reg.RegisterLatencyHistogram("paxserve_commit_ns", &e.stats.CommitNS)
+	e.reg.RegisterLatencyHistogram("paxserve_pipeline_stall_ns", &e.stats.PipelineStallNS)
 	e.reg.RegisterLatencyHistogram("paxserve_get_hit_ns", &e.stats.GetHitNS)
 	e.reg.RegisterLatencyHistogram("paxserve_get_miss_ns", &e.stats.GetMissNS)
 	e.reg.RegisterLatencyHistogram("paxserve_epoch_delta_bytes", &e.stats.DeltaBytes)
+	e.reg.Register("paxserve_inflight_commits", func() float64 {
+		return float64(e.depth.Load())
+	})
+	e.reg.Register("paxserve_max_inflight_commits", func() float64 {
+		return float64(e.cfg.MaxInflightCommits)
+	})
 	e.reg.Register("paxserve_epoch_amplification", func() float64 {
 		// Mean bytes persisted per commit over the pool size: ≈1.0 in
 		// full-image mode, ≪1 under the delta epoch store.
@@ -315,8 +448,10 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 		}
 		return 0
 	})
-	e.wg.Add(1)
+	e.wg.Add(3)
 	go e.loop()
+	go e.persister()
+	go e.acker()
 	return e, nil
 }
 
@@ -405,7 +540,13 @@ func (e *Engine) begin(req *request) error {
 // do runs one request to completion through the queue, recycling the
 // request struct on every path.
 func (e *Engine) do(op opKind, key, value []byte) result {
+	return e.doPolicy(op, key, value, AckDurable)
+}
+
+// doPolicy is do with an explicit ack policy for mutations.
+func (e *Engine) doPolicy(op opKind, key, value []byte, policy AckPolicy) result {
 	req := newRequest(op, key, value)
+	req.ackOnApply = policy == AckApply
 	if err := e.begin(req); err != nil {
 		req.release()
 		return result{err: err}
@@ -459,15 +600,39 @@ func (e *Engine) Put(key, value []byte) (uint64, error) {
 	return res.epoch, res.err
 }
 
+// PutPolicy is Put under an explicit ack policy: AckDurable blocks until
+// the group commit (the Put contract); AckApply returns as soon as the
+// mutation is applied and read-index-visible, reporting the open epoch it
+// will commit in — durability is asynchronous and the write may roll back
+// if the engine crashes before that epoch persists.
+func (e *Engine) PutPolicy(key, value []byte, policy AckPolicy) (uint64, error) {
+	res := e.doPolicy(opPut, key, value, policy)
+	return res.epoch, res.err
+}
+
 // Delete removes key, blocking like Put; found reports prior presence.
 func (e *Engine) Delete(key []byte) (bool, uint64, error) {
 	res := e.do(opDelete, key, nil)
 	return res.found, res.epoch, res.err
 }
 
+// DeletePolicy is Delete under an explicit ack policy (see PutPolicy).
+func (e *Engine) DeletePolicy(key []byte, policy AckPolicy) (bool, uint64, error) {
+	res := e.doPolicy(opDelete, key, nil, policy)
+	return res.found, res.epoch, res.err
+}
+
 // Persist forces a group commit and returns the durable epoch.
 func (e *Engine) Persist() (uint64, error) {
 	res := e.do(opPersist, nil, nil)
+	return res.epoch, res.err
+}
+
+// PersistPolicy is Persist under an explicit ack policy: AckApply schedules
+// the forced commit but returns immediately with the still-open epoch
+// instead of waiting for media.
+func (e *Engine) PersistPolicy(policy AckPolicy) (uint64, error) {
+	res := e.doPolicy(opPersist, nil, nil, policy)
 	return res.epoch, res.err
 }
 
@@ -599,11 +764,16 @@ func (e *Engine) Crash() {
 	e.drainQueue()
 }
 
-// apply executes one request against the pool. Mutations and persists are
-// returned as waiters to be acked at the batch commit; reads and stats are
-// answered immediately. Applied mutations are mirrored into the read index
-// before anything else can observe them as acked.
-func (e *Engine) apply(req *request) (waiter *request) {
+// apply executes one request against the pool, under poolMu so no mutation
+// (or registry sample of live pool state) overlaps a snapshot point in the
+// persister. Ack-on-durable mutations and persists are returned as waiters
+// to be acked at the batch commit; reads and stats are answered
+// immediately, and ack-on-apply mutations are acked right here — after the
+// read-index mirror, so an acked-on-apply write is read-your-writes
+// visible — with mutated reporting that the batch still needs a commit.
+func (e *Engine) apply(req *request) (waiter *request, mutated bool) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	switch req.op {
 	case opGet:
 		// Only Config.QueuedReads sends GETs here; the index answers the
@@ -618,111 +788,154 @@ func (e *Engine) apply(req *request) (waiter *request) {
 			e.stats.GetMissNS.Since(t0)
 		}
 		req.finish(result{value: v, found: ok})
-		return nil
+		return nil, false
 	case opPut:
 		if err := e.kv.Put(req.key, req.value); err != nil {
 			req.finish(result{err: err})
-			return nil
+			return nil, false
 		}
 		e.idx.put(req.key, req.value)
-		return req
+		if req.ackOnApply {
+			e.stats.AckedOnApply.Inc()
+			req.finish(result{epoch: e.pool.Epoch()})
+			return nil, true
+		}
+		return req, true
 	case opDelete:
 		found, err := e.kv.Delete(req.key)
 		if err != nil {
 			req.finish(result{err: err})
-			return nil
+			return nil, false
 		}
 		e.idx.delete(req.key)
 		req.found = found
-		return req
+		if req.ackOnApply {
+			e.stats.AckedOnApply.Inc()
+			req.finish(result{found: found, epoch: e.pool.Epoch()})
+			return nil, true
+		}
+		return req, true
 	case opPersist:
-		return req
+		if req.ackOnApply {
+			// The forced commit is scheduled (the batch seals force), but
+			// the caller does not wait for media: it learns the still-open
+			// epoch that the commit will make durable.
+			req.finish(result{epoch: e.pool.Epoch()})
+			return nil, true
+		}
+		return req, true
 	case opStats:
 		req.finish(result{text: e.reg.Text()})
-		return nil
+		return nil, false
 	case opSnapshot:
 		req.finish(result{snap: e.reg.Snapshot()})
-		return nil
+		return nil, false
 	}
 	req.finish(result{err: fmt.Errorf("server: unknown op %d", req.op)})
-	return nil
+	return nil, false
 }
 
-// persistBatch runs one persist attempt in the configured commit mode.
-func (e *Engine) persistBatch() (pax.PersistStats, error) {
+// persistLocked runs one persist attempt in the configured commit mode,
+// under poolMu: the snapshot point must not overlap a sealer apply (§3.5).
+func (e *Engine) persistLocked() (pax.PersistStats, error) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	if e.cfg.Async {
 		return e.pool.PersistAsync()
 	}
 	return e.pool.Persist()
 }
 
-// commit snapshots the pool and acks every waiter with the durable epoch.
-// A persist whose media sync fails is retried up to CommitRetries times with
-// doubling backoff — retrying is legal because a failed Sync never publishes
-// a partial image, and nothing is acked until one attempt fully succeeds. If
-// every attempt fails the waiters are failed (never acked) and the error is
-// returned for the caller to seal the engine. batchStart and sealNS describe
-// the group-commit window that led here (batch open time and how long it
-// stayed open); commit(nil, now, 0) is the shutdown path sealing the open
-// epoch through this same accounting.
-//
-// Every call leaves exactly one CommitRecord in the flight recorder — failed
-// commits included, so the record explaining a seal is always pinned.
-func (e *Engine) commit(waiters []*request, batchStart time.Time, sealNS int64) error {
+// maxRetryDoublings caps the commit-retry backoff at 6 doublings (64× the
+// base delay): past that, longer waits model nothing — and an unclamped
+// `delay << attempt` would overflow time.Duration near attempt 40, turning
+// a large CommitRetries budget into effectively-infinite (or negative)
+// sleeps.
+const maxRetryDoublings = 6
+
+// retryDelay is the backoff before retry attempt (0-based): the base delay
+// doubled per attempt, clamped at maxRetryDoublings.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if attempt > maxRetryDoublings {
+		attempt = maxRetryDoublings
+	}
+	return base << attempt
+}
+
+// persistSealed issues the snapshot for one sealed batch. A persist whose
+// media sync fails is retried up to CommitRetries times with doubling
+// (clamped) backoff — retrying is legal because a failed Sync never
+// publishes a partial image, and nothing is acked until one attempt fully
+// succeeds; the backoff sleeps run outside poolMu so the sealer keeps
+// applying between attempts. On success the commit is handed to the acker
+// with its media deadline; on exhaustion the batch's waiters are failed
+// (never acked), the failed CommitRecord is pinned, and the error returns
+// for the persister to seal the engine.
+func (e *Engine) persistSealed(b *sealedBatch) (*issuedCommit, error) {
 	rec := CommitRecord{
-		Batch:  len(waiters),
-		Start:  batchStart.UnixNano(),
-		SealNS: sealNS,
+		Batch:    b.mutations,
+		Inflight: b.inflight,
+		Start:    b.start.UnixNano(),
+		SealNS:   b.sealNS,
 	}
 	persistStart := time.Now()
-	st, err := e.persistBatch()
+	st, err := e.persistLocked()
 	for attempt := 0; err != nil && attempt < e.cfg.CommitRetries; attempt++ {
 		e.stats.CommitRetries.Inc()
 		rec.Retries++
-		time.Sleep(e.cfg.CommitRetryDelay << attempt)
-		st, err = e.persistBatch()
+		time.Sleep(retryDelay(e.cfg.CommitRetryDelay, attempt))
+		st, err = e.persistLocked()
 	}
+	// The snapshot point has settled either way — taken, or abandoned for
+	// good — so the sealer may open the next batch.
+	close(b.snapped)
 	if err != nil {
 		e.stats.CommitFailures.Inc()
 		rec.PersistNS = int64(time.Since(persistStart))
-		rec.TotalNS = sealNS + rec.PersistNS
+		rec.TotalNS = b.sealNS + rec.PersistNS
 		rec.Err = err.Error()
 		e.rec.record(rec)
-		failAll(waiters, fmt.Errorf("%w: %v", ErrSealed, err))
-		return err
+		failAll(b.waiters, fmt.Errorf("%w: %v", ErrSealed, err))
+		return nil, err
 	}
-	if e.cfg.CommitLatency > 0 {
-		// The medium is busy committing; the acks must wait for it. Other
-		// shards' writer loops keep running — this sleep is per pool — and
-		// index reads proceed throughout: the commit holds no index locks.
-		time.Sleep(e.cfg.CommitLatency)
-	}
+	return &issuedCommit{
+		b:         b,
+		st:        st,
+		rec:       rec,
+		issued:    persistStart,
+		persisted: time.Now(),
+	}, nil
+}
+
+// finishCommit acks one durable epoch and books its accounting: called by
+// the acker once the commit's media deadline has passed.
+func (e *Engine) finishCommit(ic *issuedCommit) {
+	b, st, rec := ic.b, ic.st, ic.rec
 	// The modeled media latency counts as persist time: it is the commit
 	// being on the medium, which is what the persist stage means.
-	rec.PersistNS = int64(time.Since(persistStart))
+	rec.PersistNS = int64(time.Since(ic.issued))
 	rec.Epoch = st.Epoch
 	rec.DeltaBytes = st.PersistedBytes
 	rec.PoolBytes = int64(e.pool.MediaSize())
 	e.stats.DeltaBytes.Observe(st.PersistedBytes)
 	e.stats.GroupCommits.Inc()
-	if len(waiters) > 0 {
-		e.stats.BatchMax.StoreMax(uint64(len(waiters)))
+	if b.mutations > 0 {
+		e.stats.BatchMax.StoreMax(uint64(b.mutations))
 	}
 	ackStart := time.Now()
-	for _, w := range waiters {
+	for _, w := range b.waiters {
 		if w.op != opPersist {
 			e.stats.AckedWrites.Inc()
 		}
 		w.finish(result{found: w.found, epoch: st.Epoch})
 	}
 	rec.AckNS = int64(time.Since(ackStart))
-	rec.TotalNS = sealNS + rec.PersistNS + rec.AckNS
-	e.stats.BatchSealNS.Observe(sealNS)
+	rec.TotalNS = rec.SealNS + rec.PersistNS + rec.AckNS
+	e.stats.BatchSealNS.Observe(rec.SealNS)
 	e.stats.PersistNS.Observe(rec.PersistNS)
 	e.stats.AckNS.Observe(rec.AckNS)
 	e.stats.CommitNS.Observe(rec.TotalNS)
 	e.rec.record(rec)
-	return nil
 }
 
 // Trace returns the flight recorder's current contents. Safe on a sealed,
@@ -735,27 +948,73 @@ func failAll(waiters []*request, err error) {
 	}
 }
 
-// loop is the writer goroutine: it owns the pool and runs batches to
-// completion. Queued reads inside a batch are answered as they are applied;
-// the batch commits when it is full, when MaxDelay expires, on an explicit
-// persist, or when the engine drains for shutdown.
+// stopped reports whether stop has been closed (crash or seal).
+func (e *Engine) stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// runAheadCommits is the pipeline's run-ahead buffer (ackq capacity, unless
+// MaxInflightCommits is larger): how many snapshotted epochs may sit awaiting
+// their modeled media completion before the sealer is pushed back on. It is
+// the memory bound on applying ahead of durability — an issuedCommit is a
+// few pointers plus its ack-on-durable waiters, so a deep buffer is cheap,
+// and it is what lets ack-on-apply latency stay at host speed while a media
+// backlog drains: only a backlog of seconds of modeled media time (4096
+// epochs × CommitLatency / window) pushes back on the host.
+const runAheadCommits = 4096
+
+// sealToPipeline hands a sealed batch to the persister, charging blocked
+// time — the run-ahead buffer full, media backlog pushing back — to
+// PipelineStallNS. It reports false when the engine stopped first.
+func (e *Engine) sealToPipeline(b *sealedBatch) bool {
+	select {
+	case e.sealedq <- b:
+		// Observing an exact 0 keeps the unblocked path timer-free while
+		// the histogram's count still matches seals.
+		e.stats.PipelineStallNS.Observe(0)
+	default:
+		stallStart := time.Now()
+		select {
+		case e.sealedq <- b:
+			e.stats.PipelineStallNS.Since(stallStart)
+		case <-e.stop:
+			return false
+		}
+	}
+	return true
+}
+
+// loop is the sealer: the writer goroutine that owns request admission and
+// applies batches. Queued reads inside a batch are answered as they are
+// applied; a batch seals when it is full, when MaxDelay expires, on an
+// explicit persist, or when the engine drains for shutdown. Closing sealedq
+// on every exit path is what winds down the persister (and, through it, the
+// acker).
 func (e *Engine) loop() {
 	defer e.wg.Done()
+	defer close(e.sealedq)
 	for {
 		select {
 		case <-e.stop:
 			return
 		case req, ok := <-e.reqs:
 			if !ok {
-				// Graceful shutdown: every prior batch committed before
-				// this point, so one empty commit seals the open epoch —
-				// through the normal commit path, so the final persist gets
-				// the same retry budget, latency model, and accounting as
-				// any group commit. If even that fails, the engine seals and
-				// Close surfaces the error.
-				if err := e.commit(nil, time.Now(), 0); err != nil {
-					e.seal(err)
-				}
+				// Graceful shutdown: every prior batch is already sealed, so
+				// one empty batch seals the open epoch — through the normal
+				// pipeline, so the final persist gets the same retry budget,
+				// latency model, and accounting as any group commit. If even
+				// that fails, the persister seals the engine and Close
+				// surfaces the error.
+				e.sealToPipeline(&sealedBatch{
+					start:    time.Now(),
+					inflight: int(e.depth.Load()) + 1,
+					snapped:  make(chan struct{}),
+				})
 				return
 			}
 			if !e.runBatch(req) {
@@ -765,51 +1024,138 @@ func (e *Engine) loop() {
 	}
 }
 
-// runBatch applies first and keeps collecting until a commit condition
-// fires, then commits. It reports false when the engine crashed mid-batch.
+// runBatch opens a batch with first and keeps applying until a seal
+// condition fires, then hands the sealed batch to the persister. It reports
+// false when the engine crashed or sealed mid-batch.
 func (e *Engine) runBatch(first *request) bool {
-	batchStart := time.Now()
-	var waiters []*request
-	force := first.op == opPersist
-	if w := e.apply(first); w != nil {
-		waiters = append(waiters, w)
+	if last := e.lastSealed; last != nil {
+		// The previous batch's snapshot point must settle before this batch
+		// applies anything: only media time overlaps, so no mutation can be
+		// absorbed into an earlier epoch's snapshot. The wait is host-speed
+		// (the snapshot itself, not the modeled media latency) and the
+		// applies would have serialized against it on poolMu anyway.
+		select {
+		case <-last.snapped:
+		case <-e.stop:
+			first.finish(result{err: e.failErr()})
+			return false
+		}
+		e.lastSealed = nil
 	}
-	if len(waiters) == 0 {
+	b := &sealedBatch{start: time.Now(), snapped: make(chan struct{})}
+	force := first.op == opPersist
+	e.applyInto(b, first)
+	if b.mutations == 0 {
 		return true // pure reads/stats: nothing to commit
 	}
 	timer := time.NewTimer(e.cfg.MaxDelay)
 	defer timer.Stop()
-	for !force && len(waiters) < e.cfg.MaxBatch {
+	for !force && b.mutations < e.cfg.MaxBatch {
 		select {
 		case <-e.stop:
-			failAll(waiters, e.failErr())
+			failAll(b.waiters, e.failErr())
 			return false
 		case <-timer.C:
 			force = true
 		case req, ok := <-e.reqs:
 			if !ok {
-				// Closing: commit what we have; loop sees !ok next and
-				// seals the epoch.
+				// Closing: seal what we have; loop sees !ok next and seals
+				// the open epoch.
 				force = true
 				continue
 			}
 			if req.op == opPersist {
 				force = true
 			}
-			if w := e.apply(req); w != nil {
-				waiters = append(waiters, w)
-			}
+			e.applyInto(b, req)
 		}
 	}
-	if err := e.commit(waiters, batchStart, int64(time.Since(batchStart))); err != nil {
-		// The batch's waiters were already failed inside commit. Seal before
-		// draining: once stop is closed and inflight unwinds, nothing new can
-		// enter the queue, so the drain below is exhaustive and no queued
-		// request is left waiting on a dead writer loop.
-		e.seal(err)
-		e.inflight.Wait()
-		e.drainQueue()
+	b.sealNS = int64(time.Since(b.start))
+	b.inflight = int(e.depth.Load()) + 1 // this batch included
+	if !e.sealToPipeline(b) {
+		failAll(b.waiters, e.failErr())
 		return false
 	}
+	e.lastSealed = b
 	return true
+}
+
+// applyInto applies one request as part of batch b, collecting its waiter
+// and mutation count.
+func (e *Engine) applyInto(b *sealedBatch, req *request) {
+	w, mutated := e.apply(req)
+	if w != nil {
+		b.waiters = append(b.waiters, w)
+	}
+	if mutated {
+		b.mutations++
+	}
+}
+
+// persister is the second pipeline stage: it turns sealed batches into
+// issued commits, in seal order. When a persist fails after retries the
+// batch's waiters were already failed inside persistSealed; the persister
+// then seals the engine and fails every later sealed-but-unpersisted batch
+// — an unacked in-flight epoch is legal to abandon, but it must never ack.
+// Epochs already handed to the acker persisted successfully and still ack.
+// After a seal (or crash) it also drains the request queue, once nothing
+// can enter it anymore.
+func (e *Engine) persister() {
+	defer e.wg.Done()
+	defer close(e.ackq)
+	failed := false
+	for b := range e.sealedq {
+		if failed || e.stopped() {
+			// Sealed behind a failure (or a crash): the commit never
+			// happened, so the waiters must fail, never ack.
+			close(b.snapped)
+			failAll(b.waiters, e.failErr())
+			continue
+		}
+		e.depth.Add(1)
+		ic, err := e.persistSealed(b)
+		if err != nil {
+			e.seal(err)
+			failed = true
+			e.depth.Add(-1)
+			continue
+		}
+		e.ackq <- ic
+	}
+	if failed {
+		// Seal closed stop, so in-flight begins unwind; once they do,
+		// nothing can enter the queue anymore — new begins see closed — so
+		// this drain is exhaustive and no queued request is left waiting on
+		// a dead pipeline.
+		e.inflight.Wait()
+		e.drainQueue()
+	}
+}
+
+// acker is the third pipeline stage: it releases each commit's waiters in
+// epoch order (ackq is FIFO from the persister) once the commit's modeled
+// media work completes. It models the device as MaxInflightCommits commit
+// slots, each busy for CommitLatency per epoch: commit i's media work starts
+// at max(its persist, slot i mod W freeing), so back-to-back commits overlap
+// W deep while W=1 serializes them — the serial A/B baseline. After a crash
+// or seal the remaining modeled waits are skipped: everything in ackq really
+// persisted, so its acks are correct and shutdown should not sleep them out.
+func (e *Engine) acker() {
+	defer e.wg.Done()
+	slots := make([]time.Time, e.cfg.MaxInflightCommits)
+	next := 0
+	for ic := range e.ackq {
+		deadline := ic.persisted
+		if slots[next].After(deadline) {
+			deadline = slots[next]
+		}
+		deadline = deadline.Add(e.cfg.CommitLatency)
+		slots[next] = deadline
+		next = (next + 1) % len(slots)
+		if d := time.Until(deadline); d > 0 && !e.stopped() {
+			time.Sleep(d)
+		}
+		e.finishCommit(ic)
+		e.depth.Add(-1)
+	}
 }

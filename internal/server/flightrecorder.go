@@ -39,9 +39,15 @@ type CommitRecord struct {
 	Shard int    `json:"shard"`
 	// Epoch is the pool epoch the commit made durable (0 if it failed).
 	Epoch uint64 `json:"epoch"`
-	// Batch is how many acked mutations (plus explicit persists) shared this
-	// commit; 0 is the shutdown seal of an open epoch.
+	// Batch is how many applied mutations (plus explicit persists,
+	// ack-on-apply included) shared this commit; 0 is the shutdown seal of
+	// an open epoch.
 	Batch int `json:"batch"`
+	// Inflight is the pipeline depth when this batch sealed: how many
+	// commits (this one included) were in flight toward media. 1 on a
+	// serial engine (MaxInflightCommits=1); up to MaxInflightCommits when
+	// the pipeline is keeping the medium busy.
+	Inflight int `json:"inflight"`
 	// Retries is how many extra persist attempts the commit needed.
 	Retries int `json:"retries"`
 	// Start is the wall-clock time the batch opened (first request applied),

@@ -26,6 +26,11 @@ type Backend interface {
 // shared group commits.
 type Server struct {
 	backend Backend
+	// DefaultAckPolicy is what a request without an explicit ack-policy flag
+	// gets — every pre-flags client, and every new client sending
+	// FlagAckDefault. The zero value is AckDurable, the protocol's original
+	// contract; paxserve -ack-policy overrides it.
+	DefaultAckPolicy AckPolicy
 	// WriteTimeout bounds each response write (default 30s).
 	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level errors (default: drop them;
@@ -188,6 +193,14 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		return func() wire.Response { return resp }
 	}
 	ereq := newRequest(op, req.Key, req.Value)
+	switch req.Flags {
+	case wire.FlagAckDefault:
+		ereq.ackOnApply = s.DefaultAckPolicy == AckApply && (op == opPut || op == opDelete || op == opPersist)
+	case wire.FlagAckDurable:
+		ereq.ackOnApply = false
+	case wire.FlagAckApply:
+		ereq.ackOnApply = true
+	}
 	if err := s.backend.begin(ereq); err != nil {
 		ereq.release()
 		resp := errResponse(err)

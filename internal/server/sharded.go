@@ -313,9 +313,21 @@ func (s *ShardedEngine) Put(key, value []byte) (uint64, error) {
 	return s.shards[s.ShardFor(key)].eng.Put(key, value)
 }
 
+// PutPolicy routes to the key's shard under an explicit ack policy (see
+// Engine.PutPolicy); the policy is per request, so one router serves
+// durable and apply-acked writers side by side.
+func (s *ShardedEngine) PutPolicy(key, value []byte, policy AckPolicy) (uint64, error) {
+	return s.shards[s.ShardFor(key)].eng.PutPolicy(key, value, policy)
+}
+
 // Delete routes to the key's shard, blocking like Put.
 func (s *ShardedEngine) Delete(key []byte) (bool, uint64, error) {
 	return s.shards[s.ShardFor(key)].eng.Delete(key)
+}
+
+// DeletePolicy routes to the key's shard under an explicit ack policy.
+func (s *ShardedEngine) DeletePolicy(key []byte, policy AckPolicy) (bool, uint64, error) {
+	return s.shards[s.ShardFor(key)].eng.DeletePolicy(key, policy)
 }
 
 // Persist forces a group commit on every shard in parallel and joins. The
@@ -419,6 +431,7 @@ func mergeSummaries(snaps []stats.Summary) stats.Summary {
 // AggregateStats is the cross-shard rollup of the per-engine counters.
 type AggregateStats struct {
 	AckedWrites     uint64
+	AckedOnApply    uint64
 	Gets            uint64
 	GroupCommits    uint64
 	BatchMax        uint64 // largest single-shard batch
@@ -434,6 +447,7 @@ func (s *ShardedEngine) AggregateStats() AggregateStats {
 	for _, sh := range s.shards {
 		st := sh.eng.Stats()
 		a.AckedWrites += st.AckedWrites.Load()
+		a.AckedOnApply += st.AckedOnApply.Load()
 		a.Gets += st.Gets.Load()
 		a.GroupCommits += st.GroupCommits.Load()
 		a.Rejects += st.Rejects.Load()

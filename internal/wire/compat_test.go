@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// This file pins the cross-version wire contract around the ack-policy flags
+// byte: a pre-flags encoder's frames (no trailing byte) must decode on a new
+// server as FlagAckDefault, and a new encoder's default-policy frames must be
+// byte-identical to the old encoding so an old server parses them unchanged.
+
+// oldEncodeRequest is the pre-flags encoder, reconstructed verbatim: opcode,
+// then length-prefixed key (and value for PUT), never a trailing byte. It
+// stands in for an old client/server binary in both compat directions.
+func oldEncodeRequest(req Request) []byte {
+	appendField := func(buf, b []byte) []byte {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+		return append(buf, b...)
+	}
+	buf := []byte{req.Op}
+	switch req.Op {
+	case OpGet, OpDelete:
+		buf = appendField(buf, req.Key)
+	case OpPut:
+		buf = appendField(buf, req.Key)
+		buf = appendField(buf, req.Value)
+	}
+	return buf
+}
+
+func frame(payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	return append(hdr[:], payload...)
+}
+
+// TestOldClientDecodesAsDefaultPolicy: frames from a pre-flags encoder carry
+// no flags byte, and the new decoder must read them as FlagAckDefault — which
+// the server resolves to ack-on-durable unless configured otherwise, so an
+// old client keeps the every-ack-means-durable contract it was written
+// against.
+func TestOldClientDecodesAsDefaultPolicy(t *testing.T) {
+	for _, req := range []Request{
+		{Op: OpPut, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpDelete, Key: []byte("k")},
+		{Op: OpPersist},
+		{Op: OpGet, Key: []byte("k")},
+		{Op: OpStats},
+		{Op: OpTrace},
+	} {
+		old := oldEncodeRequest(req)
+		got, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame(old))))
+		if err != nil {
+			t.Fatalf("%s: new decoder rejects old encoding: %v", OpName(req.Op), err)
+		}
+		if got.Flags != FlagAckDefault {
+			t.Fatalf("%s: old encoding decoded with flags %d, want FlagAckDefault", OpName(req.Op), got.Flags)
+		}
+		if got.Op != req.Op || !bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Value, req.Value) {
+			t.Fatalf("%s: old encoding decoded as %+v, want %+v", OpName(req.Op), got, req)
+		}
+	}
+}
+
+// TestDefaultPolicyEncodingIsByteIdenticalToOld: a new client that does not
+// set a policy must emit exactly the old bytes, so an old server — which
+// would reject trailing bytes — parses the frame unchanged.
+func TestDefaultPolicyEncodingIsByteIdenticalToOld(t *testing.T) {
+	for _, req := range []Request{
+		{Op: OpPut, Key: []byte("key"), Value: []byte("value")},
+		{Op: OpDelete, Key: []byte("key")},
+		{Op: OpPersist},
+		{Op: OpGet, Key: []byte("key")},
+		{Op: OpStats},
+		{Op: OpTrace},
+	} {
+		got, err := EncodeRequest(req)
+		if err != nil {
+			t.Fatalf("%s: %v", OpName(req.Op), err)
+		}
+		if want := oldEncodeRequest(req); !bytes.Equal(got, want) {
+			t.Fatalf("%s: default-policy encoding % x differs from old encoding % x — an old server would reject it",
+				OpName(req.Op), got, want)
+		}
+	}
+}
+
+// TestExplicitFlagsRoundTrip: explicit policies ride as exactly one trailing
+// byte and decode back unchanged.
+func TestExplicitFlagsRoundTrip(t *testing.T) {
+	for _, flags := range []byte{FlagAckDurable, FlagAckApply} {
+		for _, req := range []Request{
+			{Op: OpPut, Key: []byte("k"), Value: []byte("v"), Flags: flags},
+			{Op: OpDelete, Key: []byte("k"), Flags: flags},
+			{Op: OpPersist, Flags: flags},
+		} {
+			payload, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("%s flags %d: %v", OpName(req.Op), flags, err)
+			}
+			if want := append(oldEncodeRequest(Request{Op: req.Op, Key: req.Key, Value: req.Value}), flags); !bytes.Equal(payload, want) {
+				t.Fatalf("%s flags %d: encoding % x, want old bytes plus one flags byte % x",
+					OpName(req.Op), flags, payload, want)
+			}
+			got, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame(payload))))
+			if err != nil {
+				t.Fatalf("%s flags %d: decode: %v", OpName(req.Op), flags, err)
+			}
+			if got.Flags != flags {
+				t.Fatalf("%s: flags %d decoded as %d", OpName(req.Op), flags, got.Flags)
+			}
+		}
+	}
+}
+
+// TestFlagValidation: unknown flag values and flags on non-mutations are
+// protocol errors on both sides, not silently-misread bytes.
+func TestFlagValidation(t *testing.T) {
+	if _, err := EncodeRequest(Request{Op: OpPut, Key: []byte("k"), Value: []byte("v"), Flags: FlagAckApply + 1}); err == nil {
+		t.Fatal("encoder accepted an unknown ack flag")
+	}
+	for _, op := range []byte{OpGet, OpStats, OpTrace} {
+		if _, err := EncodeRequest(Request{Op: op, Key: []byte("k"), Flags: FlagAckApply}); err == nil {
+			t.Fatalf("encoder accepted ack flags on %s", OpName(op))
+		}
+	}
+	// A decoder must reject an out-of-range flags byte rather than ack under
+	// a policy it does not know.
+	bad := append(oldEncodeRequest(Request{Op: OpPersist}), FlagAckApply+1)
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame(bad)))); err == nil {
+		t.Fatal("decoder accepted an unknown ack flag")
+	}
+	// A trailing byte on GET is trailing garbage, not a policy.
+	badGet := append(oldEncodeRequest(Request{Op: OpGet, Key: []byte("k")}), FlagAckApply)
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame(badGet)))); err == nil {
+		t.Fatal("decoder accepted a flags byte on GET")
+	}
+}

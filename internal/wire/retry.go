@@ -178,7 +178,13 @@ func (r *RetryClient) Get(key []byte) (value []byte, ok bool, err error) {
 // ambiguous transport failure is idempotent, so a retried PUT that was in
 // fact already applied just re-acks.
 func (r *RetryClient) Put(key, value []byte) (epoch uint64, err error) {
-	resp, err := r.do(Request{Op: OpPut, Key: key, Value: value})
+	return r.PutFlags(key, value, FlagAckDefault)
+}
+
+// PutFlags is Client.PutFlags with retry: the ack-policy flag rides along
+// on every attempt, so a reconnect-and-resend keeps the caller's policy.
+func (r *RetryClient) PutFlags(key, value []byte, flags byte) (epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpPut, Key: key, Value: value, Flags: flags})
 	if err != nil {
 		return 0, err
 	}
@@ -189,7 +195,12 @@ func (r *RetryClient) Put(key, value []byte) (epoch uint64, err error) {
 // DELETE may observe found=false because the first send already removed the
 // key; the end state is identical.
 func (r *RetryClient) Delete(key []byte) (found bool, epoch uint64, err error) {
-	resp, err := r.do(Request{Op: OpDelete, Key: key})
+	return r.DeleteFlags(key, FlagAckDefault)
+}
+
+// DeleteFlags is Client.DeleteFlags with retry.
+func (r *RetryClient) DeleteFlags(key []byte, flags byte) (found bool, epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpDelete, Key: key, Flags: flags})
 	if err != nil {
 		return false, 0, err
 	}
@@ -198,7 +209,12 @@ func (r *RetryClient) Delete(key []byte) (found bool, epoch uint64, err error) {
 
 // Persist is Client.Persist with retry.
 func (r *RetryClient) Persist() (epoch uint64, err error) {
-	resp, err := r.do(Request{Op: OpPersist})
+	return r.PersistFlags(FlagAckDefault)
+}
+
+// PersistFlags is Client.PersistFlags with retry.
+func (r *RetryClient) PersistFlags(flags byte) (epoch uint64, err error) {
+	resp, err := r.do(Request{Op: OpPersist, Flags: flags})
 	if err != nil {
 		return 0, err
 	}

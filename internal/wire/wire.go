@@ -9,9 +9,22 @@
 //
 // Request bodies by opcode:
 //
-//	GET(1), DELETE(3):  klen:u32be key
-//	PUT(2):             klen:u32be key vlen:u32be value
-//	PERSIST(4), STATS(5), TRACE(6): empty
+//	GET(1):             klen:u32be key
+//	DELETE(3):          klen:u32be key [flags:u8]
+//	PUT(2):             klen:u32be key vlen:u32be value [flags:u8]
+//	PERSIST(4):         [flags:u8]
+//	STATS(5), TRACE(6): empty
+//
+// The optional trailing flags byte on mutations selects the ack policy:
+// FlagAckDurable (ack only once the group commit is on media) or
+// FlagAckApply (ack when applied and read-index-visible, durability
+// asynchronous). It was introduced after the base protocol, so both sides
+// are version-tolerant: an encoder omits the byte for FlagAckDefault —
+// making the default encoding byte-identical to the old one — and a decoder
+// treats an absent byte as FlagAckDefault, which the server resolves to its
+// configured default (ack-on-durable unless overridden). Old clients
+// against a new server, and new clients against an old server, therefore
+// keep today's every-ack-means-durable contract.
 //
 // Response bodies: the value for GET, the durable epoch (u64le) for PUT /
 // DELETE / PERSIST, the registry text for STATS, the flight-recorder
@@ -69,6 +82,23 @@ const (
 	StatusBusy     byte = 3
 )
 
+// Ack-policy flags, carried in the optional trailing flags byte of
+// PUT/DELETE/PERSIST. FlagAckDefault is never put on the wire — it encodes
+// as the byte's absence, so a default-policy request is byte-identical to
+// the pre-flags protocol.
+const (
+	// FlagAckDefault defers to the server's configured default policy.
+	FlagAckDefault byte = 0
+	// FlagAckDurable requests ack-on-durable explicitly: the response is
+	// sent only once the mutation's group commit reached media.
+	FlagAckDurable byte = 1
+	// FlagAckApply requests ack-on-apply: the response is sent as soon as
+	// the mutation is applied and read-index-visible; durability is
+	// asynchronous and the write may roll back if the server crashes before
+	// its epoch commits.
+	FlagAckApply byte = 2
+)
+
 // MaxFrame is the largest frame either side accepts. It bounds per-request
 // memory on both ends; a frame header announcing more is a protocol error.
 const MaxFrame = 16 << 20
@@ -78,6 +108,9 @@ type Request struct {
 	Op    byte
 	Key   []byte
 	Value []byte
+	// Flags is the ack-policy byte on PUT/DELETE/PERSIST (FlagAck*);
+	// FlagAckDefault encodes as no byte at all.
+	Flags byte
 }
 
 // Response is one decoded server reply.
@@ -153,6 +186,14 @@ func takeBytes(payload []byte) (field, rest []byte, err error) {
 
 // EncodeRequest renders a request payload (without the frame header).
 func EncodeRequest(req Request) ([]byte, error) {
+	if req.Flags != FlagAckDefault {
+		if req.Flags > FlagAckApply {
+			return nil, fmt.Errorf("wire: unknown ack flag %d", req.Flags)
+		}
+		if req.Op != OpPut && req.Op != OpDelete && req.Op != OpPersist {
+			return nil, fmt.Errorf("wire: ack flags not valid on %s", OpName(req.Op))
+		}
+	}
 	buf := []byte{req.Op}
 	switch req.Op {
 	case OpGet, OpDelete:
@@ -164,6 +205,9 @@ func EncodeRequest(req Request) ([]byte, error) {
 		// No body.
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
+	}
+	if req.Flags != FlagAckDefault {
+		buf = append(buf, req.Flags)
 	}
 	return buf, nil
 }
@@ -205,6 +249,15 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		// No body.
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode %d", req.Op)
+	}
+	if len(rest) == 1 && (req.Op == OpPut || req.Op == OpDelete || req.Op == OpPersist) {
+		// Optional ack-policy byte: absent on pre-flags encoders, which
+		// means FlagAckDefault.
+		req.Flags = rest[0]
+		if req.Flags > FlagAckApply {
+			return Request{}, fmt.Errorf("wire: unknown ack flag %d on %s", req.Flags, OpName(req.Op))
+		}
+		rest = rest[1:]
 	}
 	if len(rest) != 0 {
 		return Request{}, fmt.Errorf("wire: %d trailing bytes after %s", len(rest), OpName(req.Op))
