@@ -72,6 +72,13 @@ func main() {
 		ackPol     = flag.String("ack-policy", "durable", "loadgen: ack policy to run: durable | apply | both")
 		inflight   = flag.String("inflight", "0", "loadgen: comma-separated commit-pipeline windows to sweep (1 = serial baseline, 0 = engine default)")
 		jsonOut    = flag.String("out", "", "loadgen: also write the JSON records to this file")
+		keys       = flag.Uint64("keys", 0, "loadgen: shared keyspace size; > 0 switches clients from private keys to a preloaded shared keyspace (required for -dist/-rmw-ratio/-value-dist/-split)")
+		dist       = flag.String("dist", "uniform", "loadgen: shared-keyspace key distribution: uniform | zipf")
+		zipfS      = flag.Float64("zipf-s", 0, "loadgen: zipf skew exponent s (> 1; 0 = the 1.2 default)")
+		rmwRatio   = flag.Float64("rmw-ratio", 0, "loadgen: fraction of ops issued as read-modify-writes (GET then PUT of the same key)")
+		valueDist  = flag.String("value-dist", "fixed", "loadgen: value size distribution: fixed | uniform (1..value bytes)")
+		seed       = flag.Int64("seed", 1, "loadgen: base RNG seed for shared-keyspace sampling")
+		split      = flag.Bool("split", false, "loadgen: run the live-split A/B instead of the shard sweep: measure, split the hottest shard, measure again, then crash and verify no acked write was lost (needs -keys; uses the first -shards count, min 2)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,13 @@ func main() {
 			inflight:   *inflight,
 			format:     *format,
 			jsonOut:    *jsonOut,
+			keys:       *keys,
+			dist:       *dist,
+			zipfS:      *zipfS,
+			rmwRatio:   *rmwRatio,
+			valueDist:  *valueDist,
+			seed:       *seed,
+			split:      *split,
 		}
 		if err := runLoadgen(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
@@ -169,10 +183,19 @@ type loadgenConfig struct {
 	inflight   string
 	format     string
 	jsonOut    string
+	keys       uint64
+	dist       string
+	zipfS      float64
+	rmwRatio   float64
+	valueDist  string
+	seed       int64
+	split      bool
 }
 
 // runLoadgen sweeps persist mode × data size × shard count and reports each
-// run, as a table plus metrics registry or as JSON records.
+// run, as a table plus metrics registry or as JSON records. With -split it
+// instead runs the live-split A/B (pre-split phase, hot-shard split,
+// post-split phase, crash + reopen verification).
 func runLoadgen(cfg loadgenConfig) error {
 	var counts []int
 	for _, f := range strings.Split(cfg.shardList, ",") {
@@ -181,6 +204,9 @@ func runLoadgen(cfg loadgenConfig) error {
 			return fmt.Errorf("bad -shards value %q (want positive ints like 1,2,4,8)", f)
 		}
 		counts = append(counts, n)
+	}
+	if cfg.split {
+		return runSplit(cfg, counts[0])
 	}
 	sizes := []uint64{0} // 0 = RunLoad's 32 MiB default
 	if cfg.dataSizes != "" {
@@ -240,8 +266,14 @@ func runLoadgen(cfg loadgenConfig) error {
 							EpochLog:           epochLog,
 							MaxInflightCommits: window,
 							AckOnApply:         apply,
+							Keys:               cfg.keys,
+							Dist:               cfg.dist,
+							ZipfS:              cfg.zipfS,
+							RMWRatio:           cfg.rmwRatio,
+							ValueDist:          cfg.valueDist,
+							Seed:               cfg.seed,
 						}
-						if cfg.readRatio == 0 {
+						if cfg.readRatio == 0 && cfg.keys == 0 {
 							spec.GetEveryN = 4
 						}
 						res, err := benchkit.RunLoad(spec)
@@ -272,7 +304,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	t := stats.NewTable("loadgen", "mode", "ack", "w", "pool MiB", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms", "KiB/commit p99", "amp")
+	t := stats.NewTable("loadgen", "mode", "ack", "w", "pool MiB", "shards", "clients", "acked writes", "gets", "snapshots", "writes/snapshot", "max batch", "writes/s", "ops/s", "ack p50 ms", "ack p99 ms", "KiB/commit p99", "amp", "imbalance")
 	for _, res := range results {
 		mode := "full-image"
 		if res.EpochLog {
@@ -282,14 +314,108 @@ func runLoadgen(cfg loadgenConfig) error {
 		t.AddRowf(mode, j.AckPolicy, j.MaxInflightCommits, float64(res.PoolBytes)/(1<<20), j.Shards, res.Spec.Clients, res.AckedWrites, res.Gets, res.GroupCommits,
 			res.Amortization, res.BatchMax, res.Throughput, res.OpsThroughput,
 			float64(res.AckP50.Microseconds())/1e3, float64(res.AckP99.Microseconds())/1e3,
-			res.CommitP99Bytes/1024, res.WriteAmplification)
+			res.CommitP99Bytes/1024, res.WriteAmplification, res.ShardImbalance)
 	}
 	fmt.Println(t.String())
+	for _, res := range results {
+		if len(res.PerShard) > 1 {
+			fmt.Println(perShardTable(res).String())
+		}
+	}
 	for _, res := range results {
 		fmt.Printf("## metrics (%d shards)\n", res.JSON().Shards)
 		if _, err := res.Metrics.WriteTo(os.Stdout); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
 	}
+	return nil
+}
+
+// perShardTable renders one run's per-shard load so hot-shard skew is
+// visible without grepping the metrics registry.
+func perShardTable(res benchkit.LoadResult) *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("per-shard load (%d shards, imbalance %.2f, hot shard %d)",
+		res.Spec.Shards, res.ShardImbalance, res.HotShard),
+		"shard", "acked ops", "ack p99 ms", "enqueue wait p99 ms")
+	for _, s := range res.PerShard {
+		t.AddRowf(s.Shard, s.AckedOps, s.AckP99Micros/1e3, s.EnqueueWaitP99Micros/1e3)
+	}
+	return t
+}
+
+// runSplit drives the live-split A/B: a zipfian-skewed shared keyspace on a
+// file-backed sharded engine, split the hottest shard mid-run, and prove
+// via crash + reopen that no acked write was lost.
+func runSplit(cfg loadgenConfig, shards int) error {
+	if shards < 2 {
+		shards = 2
+	}
+	dir := cfg.poolDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "paxbench-split-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	keys := cfg.keys
+	if keys == 0 {
+		keys = 10_000
+	}
+	dist := cfg.dist
+	if dist == "uniform" {
+		dist = "zipf" // the A/B is about skew; an explicit -dist zipf is the expected call
+	}
+	spec := benchkit.LoadSpec{
+		Clients:       cfg.clients,
+		OpsPerClient:  cfg.ops,
+		ValueBytes:    64,
+		ReadRatio:     cfg.readRatio,
+		QueuedReads:   cfg.queued,
+		MaxBatch:      cfg.maxBatch,
+		MaxDelay:      cfg.maxDelay,
+		Shards:        shards,
+		CommitLatency: cfg.commitLat,
+		PoolDir:       dir,
+		EpochLog:      cfg.epochLog,
+		Keys:          keys,
+		Dist:          dist,
+		ZipfS:         cfg.zipfS,
+		RMWRatio:      cfg.rmwRatio,
+		ValueDist:     cfg.valueDist,
+		Seed:          cfg.seed,
+	}
+	res, err := benchkit.RunSplitLoad(spec)
+	if err != nil {
+		return err
+	}
+	records := res.JSON()
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.jsonOut != "" {
+		if err := os.WriteFile(cfg.jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.format == "json" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	t := stats.NewTable("live split A/B", "phase", "shards", "writes/s", "ops/s", "imbalance", "hot shard", "ack p99 ms", "moved slots", "moved keys", "crash ok", "lost keys")
+	t.AddRowf("pre-split", res.Pre.Spec.Shards, res.Pre.Throughput, res.Pre.OpsThroughput, res.Pre.ShardImbalance,
+		res.Pre.HotShard, float64(res.Pre.AckP99.Microseconds())/1e3, "-", "-", "-", "-")
+	t.AddRowf("post-split", res.Post.Spec.Shards, res.Post.Throughput, res.Post.OpsThroughput, res.Post.ShardImbalance,
+		res.Post.HotShard, float64(res.Post.AckP99.Microseconds())/1e3,
+		res.Split.MovedSlots, res.Split.MovedKeys, res.Split.CrashVerified, res.Split.LostKeys)
+	fmt.Println(t.String())
+	fmt.Println(perShardTable(res.Pre).String())
+	fmt.Println(perShardTable(res.Post).String())
+	fmt.Printf("split: shard %d -> %d (new shard: %v), %d/%d slots moved (%.1f%% of keyspace), %d keys, %.1f ms\n",
+		res.Split.Source, res.Split.Dest, res.Split.NewShard,
+		res.Split.MovedSlots, 256, res.Split.MovedFrac*100, res.Split.MovedKeys, res.Split.SplitMS)
 	return nil
 }

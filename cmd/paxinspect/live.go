@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pax/internal/server"
@@ -14,7 +16,7 @@ import (
 // paxserve and poll its STATS (-stats) or TRACE (-trace) wire commands. With
 // -interval > 0 the poll repeats until interrupted; otherwise it runs once.
 
-func runLive(addr string, trace bool, interval time.Duration) {
+func runLive(addr string, trace, byShard bool, interval time.Duration) {
 	cl, err := wire.Dial(addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paxinspect: %v\n", err)
@@ -22,9 +24,12 @@ func runLive(addr string, trace bool, interval time.Duration) {
 	}
 	defer cl.Close()
 	for {
-		if trace {
+		switch {
+		case trace:
 			err = printTrace(cl)
-		} else {
+		case byShard:
+			err = printShardStats(cl)
+		default:
 			err = printStats(cl)
 		}
 		if err != nil {
@@ -45,6 +50,75 @@ func printStats(cl *wire.Client) error {
 		return err
 	}
 	fmt.Printf("-- stats @ %s --\n%s", time.Now().Format(time.RFC3339), text)
+	return nil
+}
+
+// printShardStats parses the STATS registry text (`name value` lines, with
+// per-shard series labeled {shard="K"}) and renders one row per shard: the
+// view that makes a hot shard visible at a glance. A single-pool server has
+// no {shard=...} series; the summary then covers the one implicit shard 0
+// from the unlabeled counters.
+func printShardStats(cl *wire.Client) error {
+	text, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	m := make(map[string]float64)
+	shards := 1
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m[fields[0]] = v
+		if i := strings.Index(fields[0], `{shard="`); i >= 0 {
+			rest := fields[0][i+len(`{shard="`):]
+			if j := strings.IndexByte(rest, '"'); j > 0 {
+				if k, err := strconv.Atoi(rest[:j]); err == nil && k+1 > shards {
+					shards = k + 1
+				}
+			}
+		}
+	}
+	fmt.Printf("-- shards @ %s --\n", time.Now().Format(time.RFC3339))
+	if seq, ok := m["paxserve_slotmap_seq"]; ok {
+		fmt.Printf("router: %d shard(s), slot map seq %.0f, %.0f split(s), %.0f slot(s) / %.0f key(s) moved, %.0f stale key(s) purged\n",
+			shards, seq, m["paxserve_reshard_splits"], m["paxserve_reshard_moved_slots"],
+			m["paxserve_reshard_moved_keys"], m["paxserve_reshard_purged_keys"])
+	}
+	get := func(name string, k int) float64 {
+		if shards == 1 {
+			if v, ok := m[name]; ok {
+				return v
+			}
+		}
+		return m[name+`{shard="`+strconv.Itoa(k)+`"}`]
+	}
+	quant := func(name string, k int) float64 {
+		if shards == 1 {
+			if v, ok := m[name+`{q="p99"}`]; ok {
+				return v
+			}
+		}
+		return m[name+`{q="p99",shard="`+strconv.Itoa(k)+`"}`]
+	}
+	fmt.Printf("  %5s %14s %12s %12s %10s %16s %15s %13s\n",
+		"shard", "acked writes", "on-apply", "gets", "commits", "enqueue p99", "commit p99", "ack p99")
+	for k := 0; k < shards; k++ {
+		fmt.Printf("  %5d %14.0f %12.0f %12.0f %10.0f %16s %15s %13s\n",
+			k,
+			get("paxserve_acked_writes", k),
+			get("paxserve_acked_on_apply", k),
+			get("paxserve_gets", k),
+			get("paxserve_group_commits", k),
+			fmtNS(int64(quant("paxserve_enqueue_wait_ns", k))),
+			fmtNS(int64(quant("paxserve_commit_ns", k))),
+			fmtNS(int64(quant("paxserve_commit_ack_ns", k))))
+	}
 	return nil
 }
 

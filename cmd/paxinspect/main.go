@@ -12,12 +12,16 @@
 // It also has a live mode against a running paxserve: -stats polls the
 // server's STATS wire command (the metrics registry, latency quantiles
 // included) and -trace polls TRACE (the commit flight recorder) and renders
-// the per-commit stage timings as a table. -interval repeats the poll.
+// the per-commit stage timings as a table. -stats -shards folds the
+// registry's {shard="K"} series into a per-shard summary table (acked ops,
+// queue and commit tails, slot-router counters) — the view for spotting a
+// hot shard before and after a SPLIT. -interval repeats the poll.
 //
 // Usage:
 //
 //	paxinspect -pool ./ht.pool [-entries 20]
 //	paxinspect -stats 127.0.0.1:7421 [-interval 2s]
+//	paxinspect -stats 127.0.0.1:7421 -shards
 //	paxinspect -trace 127.0.0.1:7421 [-interval 2s]
 package main
 
@@ -120,14 +124,19 @@ func main() {
 		statsAt  = flag.String("stats", "", "poll a running paxserve's STATS at this address instead of reading a file")
 		traceAt  = flag.String("trace", "", "poll a running paxserve's TRACE (commit flight recorder) at this address")
 		interval = flag.Duration("interval", 0, "with -stats/-trace: repeat the poll at this period (0 = once)")
+		byShard  = flag.Bool("shards", false, "with -stats: render a per-shard summary table (acked ops, queue/commit tails, slot counts) instead of the raw registry")
 	)
 	flag.Parse()
 	if *statsAt != "" && *traceAt != "" {
 		fmt.Fprintln(os.Stderr, "paxinspect: -stats and -trace are mutually exclusive")
 		os.Exit(2)
 	}
+	if *byShard && *statsAt == "" {
+		fmt.Fprintln(os.Stderr, "paxinspect: -shards needs -stats")
+		os.Exit(2)
+	}
 	if addr := *statsAt + *traceAt; addr != "" {
-		runLive(addr, *traceAt != "", *interval)
+		runLive(addr, *traceAt != "", *byShard, *interval)
 		return
 	}
 	if *path == "" {

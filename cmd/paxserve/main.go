@@ -34,9 +34,16 @@
 // With -shards N > 1 the keyspace is hash-partitioned across N pool files
 // (kv.pool.shard-0 … kv.pool.shard-N-1), each with its own writer loop,
 // undo log, and device, so N group commits run in parallel; startup opens
-// and recovers all shards concurrently. On restart the shard count is
-// detected from the files present (-shards 0, the default), and an explicit
-// -shards that disagrees with the files is refused unless -overwrite.
+// and recovers all shards concurrently. Keys route through a fixed 256-slot
+// space with a persisted slot→shard map (kv.pool.slotmap), so the fleet can
+// grow live: SIGUSR1 (or the SPLIT wire op) splits the hottest shard —
+// a new shard pool comes up, the hot half of the source's slots migrate
+// through the normal epoch machinery with acked writes durable throughout,
+// and the new assignment publishes atomically. On restart the shard count
+// is detected from the files present (-shards 0, the default), and an
+// explicit -shards that disagrees with the files is refused unless
+// -overwrite. A bare single-shard layout cannot split (its pool file cannot
+// coexist with shard files); start with -shards 2 to keep splitting open.
 //
 // GETs do not enter the writer queue: each shard keeps a volatile read
 // index (rebuilt from the recovered pool at startup) that the writer
@@ -57,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -117,9 +125,10 @@ func main() {
 	}
 
 	// Resolve the shard count against what is on disk: a restart must reopen
-	// the layout the previous run left (the key→shard mapping is a function
-	// of the shard count, so serving old files with a new count would
-	// misroute every key).
+	// the layout the previous run left. Routing follows the persisted slot
+	// map, not the raw count, but a count that disagrees with the files is
+	// still almost certainly a typo'd path or a stale flag — refuse rather
+	// than guess (live growth is SIGUSR1 / the SPLIT wire op, not -shards).
 	n := *shards
 	discovered, err := server.DiscoverShards(*poolPath)
 	if err != nil {
@@ -197,6 +206,8 @@ func main() {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	splits := make(chan os.Signal, 1)
+	signal.Notify(splits, syscall.SIGUSR1)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(lis) }()
 	mode := "full-image"
@@ -206,14 +217,36 @@ func main() {
 	fmt.Printf("paxserve: serving %s on %s (%d shard(s), %s commits, durable epoch %d, max batch %d, max delay %v)\n",
 		*poolPath, lis.Addr(), eng.NumShards(), mode, eng.DurableEpoch(), *maxBatch, *maxDelay)
 
-	select {
-	case sig := <-sigs:
-		fmt.Printf("paxserve: %v: shutting down\n", sig)
-	case err := <-done:
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paxserve: serve: %v\n", err)
+	var splitting sync.WaitGroup
+serve:
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("paxserve: %v: shutting down\n", sig)
+			break serve
+		case <-splits:
+			// Operator-driven live split (kill -USR1 <pid>): peel the hot half
+			// of the busiest shard's slots onto a new shard while serving.
+			// Off the signal loop so a long migration never masks a shutdown.
+			splitting.Add(1)
+			go func() {
+				defer splitting.Done()
+				rep, err := eng.Split(-1)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "paxserve: split: %v\n", err)
+					return
+				}
+				fmt.Printf("paxserve: split shard %d -> %d (%d slots, %d keys moved; %d shard(s), slot map seq %d)\n",
+					rep.Source, rep.Dest, len(rep.MovedSlots), rep.MovedKeys, rep.Shards, rep.Seq)
+			}()
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paxserve: serve: %v\n", err)
+			}
+			break serve
 		}
 	}
+	splitting.Wait()
 	srv.Shutdown()
 	if err := eng.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: close: %v\n", err)

@@ -81,6 +81,7 @@ func Experiments() []Experiment {
 		{"loadgen", "§3.2 extension", "concurrent KV serving: group-commit amortization vs client count", Loadgen},
 		{"epochstore", "§3.3 extension", "per-commit persisted bytes vs pool size: full-image republish vs delta epoch store", EpochStoreAmplification},
 		{"ackpipe", "§6 extension", "commit pipeline window x ack policy: serial vs pipelined persist, durable vs apply acks", Ackpipe},
+		{"reshard", "§3.2 extension", "zipfian skew vs shard imbalance, plus a live hot-shard split A/B with crash check", Reshard},
 	}
 }
 

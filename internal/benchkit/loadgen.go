@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"pax"
 	"pax/internal/server"
 	"pax/internal/stats"
+	"pax/internal/workload"
 )
 
 // This file is the serving-layer load generator: instead of driving a
@@ -74,6 +76,32 @@ type LoadSpec struct {
 	// ack-on-durable default — every ack means the write's group commit
 	// reached media.
 	AckOnApply bool
+	// Keys, when > 0, switches the run to a shared-keyspace workload: the
+	// keyspace is Keys keys ("k%08d"), preloaded durable before the measured
+	// phase, and every client samples the same space — reads and writes alike
+	// — through the Dist sampler. 0 keeps the legacy per-client-private keys
+	// (each client writes its own sequence and reads its own history), which
+	// is what the pre-zipfian sweeps recorded. The shared keyspace is what
+	// exposes hot-shard imbalance: private keys spread by construction.
+	Keys uint64
+	// Dist picks the shared-keyspace sampler: "uniform" (default) or "zipf"
+	// (YCSB-style skew; ZipfS sets the exponent). Requires Keys > 0.
+	Dist string
+	// ZipfS is the zipfian exponent (s > 1; default 1.2). Higher is more
+	// skewed: at s=1.2 over 100k keys, the hottest ~25 keys absorb a tenth
+	// of the traffic, and whichever shard owns them becomes the bottleneck.
+	ZipfS float64
+	// RMWRatio is the fraction of write ops issued as read-modify-write —
+	// Get then Put of the same sampled key, the YCSB-A update shape — instead
+	// of a blind Put. Requires Keys > 0.
+	RMWRatio float64
+	// ValueDist sizes each written value: "fixed" (default, every value is
+	// ValueBytes) or "uniform" (per-op size uniform in [1, ValueBytes]).
+	// Requires Keys > 0.
+	ValueDist string
+	// Seed perturbs the samplers; runs with equal specs are identical, and
+	// sweeps vary Seed to decorrelate. Each client derives its own stream.
+	Seed int64
 }
 
 // LoadResult summarizes a run.
@@ -118,6 +146,29 @@ type LoadResult struct {
 	CommitP99Bytes     float64
 	CommitMeanBytes    float64
 	WriteAmplification float64
+	// PerShard breaks the run down by shard (from the merged {shard="K"}
+	// metrics): acked ops, queue pressure, and client-observed ack tail per
+	// shard. ShardImbalance is max/mean per-shard acked ops — 1.0 is perfect
+	// balance, and under zipfian skew it is the recorded size of the
+	// hot-shard problem. HotShard is the argmax.
+	PerShard       []ShardLoad
+	ShardImbalance float64
+	HotShard       int
+}
+
+// ShardLoad is one shard's share of a run.
+type ShardLoad struct {
+	Shard int `json:"shard"`
+	// AckedOps is the shard's acked writes (durable + on-apply) plus served
+	// GETs.
+	AckedOps uint64 `json:"acked_ops"`
+	// EnqueueWaitP99Micros is the shard's server-side enqueue-wait p99 — how
+	// long requests sat blocked on a full queue, the first symptom of a hot
+	// shard.
+	EnqueueWaitP99Micros float64 `json:"enqueue_wait_p99_us"`
+	// AckP99Micros is the client-observed per-write ack p99 for writes routed
+	// to this shard.
+	AckP99Micros float64 `json:"ack_p99_us"`
 }
 
 // LoadJSON is the machine-readable form of a LoadResult — what
@@ -161,6 +212,25 @@ type LoadJSON struct {
 	CommitP99Bytes     float64 `json:"commit_p99_bytes"`
 	CommitMeanBytes    float64 `json:"commit_mean_bytes"`
 	WriteAmplification float64 `json:"write_amplification"`
+	// Workload-shape fields: the key distribution ("uniform" | "zipf" over a
+	// shared keyspace of Keys keys, or "private" for the legacy per-client
+	// keys), its skew, the read-modify-write fraction, and the value sizing.
+	Dist      string  `json:"dist"`
+	ZipfS     float64 `json:"zipf_s"`
+	Keys      uint64  `json:"keys"`
+	RMWRatio  float64 `json:"rmw_ratio"`
+	ValueDist string  `json:"value_dist"`
+	// Imbalance fields: per-shard load breakdown, max/mean acked ops across
+	// shards, and which shard was hottest.
+	ShardImbalance float64     `json:"shard_imbalance"`
+	HotShard       int         `json:"hot_shard"`
+	PerShard       []ShardLoad `json:"per_shard,omitempty"`
+	// Split-run fields, set only by the reshard experiment: which phase of a
+	// live-split run this record measures ("pre-split" | "post-split") and,
+	// on the post record, what the split moved and whether every pre-split
+	// acked write survived a crash+reopen.
+	Phase string     `json:"phase,omitempty"`
+	Split *SplitJSON `json:"split,omitempty"`
 }
 
 // JSON converts the result to its machine-readable record.
@@ -180,6 +250,25 @@ func (r LoadResult) JSON() LoadJSON {
 	inflight := r.Spec.MaxInflightCommits
 	if inflight <= 0 {
 		inflight = 2 // the engine default (server.Config.withDefaults)
+	}
+	dist := "private"
+	zipfS := 0.0
+	valueDist := ""
+	if r.Spec.Keys > 0 {
+		dist = r.Spec.Dist
+		if dist == "" {
+			dist = "uniform"
+		}
+		if dist == "zipf" {
+			zipfS = r.Spec.ZipfS
+			if zipfS == 0 {
+				zipfS = defaultZipfS
+			}
+		}
+		valueDist = r.Spec.ValueDist
+		if valueDist == "" {
+			valueDist = "fixed"
+		}
 	}
 	return LoadJSON{
 		Shards:             shards,
@@ -208,8 +297,29 @@ func (r LoadResult) JSON() LoadJSON {
 		CommitP99Bytes:     r.CommitP99Bytes,
 		CommitMeanBytes:    r.CommitMeanBytes,
 		WriteAmplification: r.WriteAmplification,
+		Dist:               dist,
+		ZipfS:              zipfS,
+		Keys:               r.Spec.Keys,
+		RMWRatio:           r.Spec.RMWRatio,
+		ValueDist:          valueDist,
+		ShardImbalance:     r.ShardImbalance,
+		HotShard:           r.HotShard,
+		PerShard:           r.PerShard,
 	}
 }
+
+// defaultZipfS is the zipfian exponent used when Dist is "zipf" and ZipfS is
+// unset — skewed enough that one shard's slots clearly dominate, mild enough
+// that every shard still sees traffic (the YCSB constant is 0.99 for its
+// scrambled variant; rand.Zipf's unscrambled form wants s > 1).
+const defaultZipfS = 1.2
+
+// sharedKey names key i of the shared keyspace.
+func sharedKey(i uint64) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
+
+// keySampler is what the shared-keyspace clients draw from (workload.Zipf or
+// workload.Uniform).
+type keySampler interface{ Next() uint64 }
 
 // RunLoad executes one loadgen run on fresh pools (one per shard) —
 // in-memory by default, file-backed under spec.PoolDir.
@@ -222,6 +332,28 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 	if spec.ValueBytes <= 0 {
 		spec.ValueBytes = 64
+	}
+	if spec.Keys == 0 {
+		if spec.Dist != "" || spec.ZipfS != 0 || spec.RMWRatio != 0 || spec.ValueDist != "" {
+			return LoadResult{}, fmt.Errorf("benchkit: Dist/ZipfS/RMWRatio/ValueDist shape the shared keyspace; set Keys > 0")
+		}
+	} else {
+		switch spec.Dist {
+		case "", "uniform", "zipf":
+		default:
+			return LoadResult{}, fmt.Errorf("benchkit: key distribution %q (want uniform or zipf)", spec.Dist)
+		}
+		if spec.Dist == "zipf" && spec.ZipfS != 0 && spec.ZipfS <= 1 {
+			return LoadResult{}, fmt.Errorf("benchkit: zipf exponent %v must be > 1", spec.ZipfS)
+		}
+		if spec.RMWRatio < 0 || spec.RMWRatio > 1 {
+			return LoadResult{}, fmt.Errorf("benchkit: RMW ratio %v must be in [0, 1]", spec.RMWRatio)
+		}
+		switch spec.ValueDist {
+		case "", "fixed", "uniform":
+		default:
+			return LoadResult{}, fmt.Errorf("benchkit: value distribution %q (want fixed or uniform)", spec.ValueDist)
+		}
 	}
 	shards := spec.Shards
 	if shards <= 0 {
@@ -259,6 +391,27 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.AckOnApply {
 		policy = server.AckApply
 	}
+	// Shared keyspace: preload every key durable before the clock starts, so
+	// the measured phase reads always hit and the imbalance numbers reflect
+	// steady-state traffic, not fill. The preload's own acks and commits are
+	// sampled here and subtracted below, so the reported counters (and the
+	// per-shard imbalance) cover only measured traffic. The latency quantiles
+	// in the metrics registry still include the fill — histograms cannot be
+	// differenced — but the client-side ack histograms start at zero.
+	var preAgg server.AggregateStats
+	var preShard []uint64
+	if spec.Keys > 0 {
+		if err := preloadKeys(eng, spec, value); err != nil {
+			eng.Close()
+			return LoadResult{}, err
+		}
+		preAgg = eng.AggregateStats()
+		preShard = eng.ShardAckedWrites()
+	}
+	// shardAck splits the client-observed ack latency by the shard that
+	// served the write (routed via the engine's own ShardFor at issue time) —
+	// the hot shard's tail is the split experiment's before/after number.
+	shardAck := make([]stats.LatencyHistogram, shards)
 	start := time.Now()
 	var (
 		wg     sync.WaitGroup
@@ -269,6 +422,10 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			if spec.Keys > 0 {
+				runSharedClient(eng, spec, c, value, policy, &ackLat, shardAck, errs)
+				return
+			}
 			var (
 				acc   float64                            // error-diffusion accumulator for the read/write mix
 				wrote int                                // keys this client has written so far
@@ -290,12 +447,15 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				}
 				key := []byte(fmt.Sprintf("c%04d-%06d", c, wrote))
 				wrote++
+				shard := eng.ShardFor(key)
 				t0 := time.Now()
 				if _, err := eng.PutPolicy(key, value, policy); err != nil {
 					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 					return
 				}
-				ackLat.Since(t0)
+				d := time.Since(t0).Nanoseconds()
+				ackLat.Observe(d)
+				shardAck[shard].Observe(d)
 				if spec.ReadRatio == 0 && spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
 					if _, ok, err := eng.Get(key); err != nil || !ok {
 						errs <- fmt.Errorf("client %d read-back %s: ok=%v err=%v", c, key, ok, err)
@@ -326,9 +486,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	// them at apply time (AckedOnApply). Either way it is one ack per write.
 	res := LoadResult{
 		Spec:           spec,
-		AckedWrites:    agg.AckedWrites + agg.AckedOnApply,
-		Gets:           agg.Gets,
-		GroupCommits:   agg.GroupCommits,
+		AckedWrites:    (agg.AckedWrites + agg.AckedOnApply) - (preAgg.AckedWrites + preAgg.AckedOnApply),
+		Gets:           agg.Gets - preAgg.Gets,
+		GroupCommits:   agg.GroupCommits - preAgg.GroupCommits,
 		BatchMax:       agg.BatchMax,
 		Wall:           wall,
 		Metrics:        metrics,
@@ -353,7 +513,146 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		res.Throughput = float64(res.AckedWrites) / wall.Seconds()
 		res.OpsThroughput = float64(res.AckedWrites+res.Gets) / wall.Seconds()
 	}
+	res.PerShard, res.ShardImbalance, res.HotShard = perShardLoads(metrics, shardAck, preShard)
 	return res, nil
+}
+
+// perShardLoads folds the merged {shard="K"} metrics plus the client-side
+// per-shard ack histograms into the per-shard breakdown and its imbalance
+// summary (max/mean acked ops; 1.0 = perfectly balanced). base, when
+// non-nil, holds each shard's acked-write count sampled before the measured
+// phase (the preload fill), which is subtracted out.
+func perShardLoads(metrics stats.Summary, shardAck []stats.LatencyHistogram, base []uint64) ([]ShardLoad, float64, int) {
+	loads := make([]ShardLoad, len(shardAck))
+	var sum, max float64
+	hot := 0
+	for k := range loads {
+		lbl := fmt.Sprintf("{shard=%q}", strconv.Itoa(k))
+		acked := metrics["paxserve_acked_writes"+lbl] +
+			metrics["paxserve_acked_on_apply"+lbl] +
+			metrics["paxserve_gets"+lbl]
+		if k < len(base) {
+			acked -= float64(base[k])
+		}
+		snap := shardAck[k].Snapshot()
+		loads[k] = ShardLoad{
+			Shard:                k,
+			AckedOps:             uint64(acked),
+			EnqueueWaitP99Micros: metrics[`paxserve_enqueue_wait_ns{q="p99",shard=`+strconv.Quote(strconv.Itoa(k))+`}`] / 1e3,
+			AckP99Micros:         float64(snap.Quantile(0.99)) / 1e3,
+		}
+		sum += acked
+		if acked > max {
+			max, hot = acked, k
+		}
+	}
+	imbalance := 0.0
+	if sum > 0 {
+		imbalance = max / (sum / float64(len(loads)))
+	}
+	return loads, imbalance, hot
+}
+
+// preloadKeys writes the whole shared keyspace before the measured phase:
+// ack-on-apply puts fanned across the clients' worth of goroutines, then one
+// forced commit per shard so the preload is durable and the measured phase
+// starts from a clean epoch.
+func preloadKeys(eng *server.ShardedEngine, spec LoadSpec, value []byte) error {
+	loaders := spec.Clients
+	if loaders > 64 {
+		loaders = 64
+	}
+	per := (spec.Keys + uint64(loaders) - 1) / uint64(loaders)
+	errs := make(chan error, loaders)
+	var wg sync.WaitGroup
+	for c := 0; c < loaders; c++ {
+		lo, hi := uint64(c)*per, uint64(c+1)*per
+		if hi > spec.Keys {
+			hi = spec.Keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if _, err := eng.PutPolicy(sharedKey(i), value, server.AckApply); err != nil {
+					errs <- fmt.Errorf("benchkit: preloading key %d: %w", i, err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	_, err := eng.Persist()
+	return err
+}
+
+// runSharedClient is one measured-phase client of the shared-keyspace mode:
+// reads and writes both draw keys from the same sampler (read skew matches
+// write skew — a hot key is hot on both paths), RMWRatio of the writes are
+// read-modify-writes (the ack time then includes the read), and ValueDist
+// sizes each value.
+func runSharedClient(eng *server.ShardedEngine, spec LoadSpec, c int, value []byte, policy server.AckPolicy, ackLat *stats.LatencyHistogram, shardAck []stats.LatencyHistogram, errs chan<- error) {
+	seed := spec.Seed*1_000_003 + int64(c)*2_654_435_761 + 1
+	var sampler keySampler
+	if spec.Dist == "zipf" {
+		s := spec.ZipfS
+		if s == 0 {
+			s = defaultZipfS
+		}
+		sampler = workload.NewZipf(spec.Keys, s, seed)
+	} else {
+		sampler = workload.NewUniform(spec.Keys, seed)
+	}
+	var (
+		readAcc, rmwAcc float64 // error-diffusion accumulators, deterministic per client
+		rng             = uint32(2654435761 * uint64(c+1))
+	)
+	for op := 0; op < spec.OpsPerClient; op++ {
+		readAcc += spec.ReadRatio
+		if readAcc >= 1 {
+			readAcc--
+			key := sharedKey(sampler.Next())
+			if _, ok, err := eng.Get(key); err != nil || !ok {
+				errs <- fmt.Errorf("client %d read %s: ok=%v err=%v", c, key, ok, err)
+				return
+			}
+			continue
+		}
+		key := sharedKey(sampler.Next())
+		v := value
+		if spec.ValueDist == "uniform" {
+			rng = rng*1664525 + 1013904223
+			v = value[:1+int(rng%uint32(len(value)))]
+		}
+		rmw := false
+		if rmwAcc += spec.RMWRatio; rmwAcc >= 1 {
+			rmwAcc--
+			rmw = true
+		}
+		shard := eng.ShardFor(key)
+		t0 := time.Now()
+		if rmw {
+			if _, ok, err := eng.Get(key); err != nil || !ok {
+				errs <- fmt.Errorf("client %d rmw-read %s: ok=%v err=%v", c, key, ok, err)
+				return
+			}
+		}
+		if _, err := eng.PutPolicy(key, v, policy); err != nil {
+			errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
+			return
+		}
+		d := time.Since(t0).Nanoseconds()
+		ackLat.Observe(d)
+		shardAck[shard].Observe(d)
+	}
 }
 
 // EpochStoreAmplification is the epoch-store A/B: the same fixed workload

@@ -540,6 +540,43 @@ func fsyncDir(path string) error {
 	return err
 }
 
+// PublishFile atomically replaces (or creates) the file at path with data,
+// using the same staging protocol as a full-image Sync: write <path>.tmp,
+// fsync it, rename it over path, fsync the directory. A crash at any point
+// leaves either the old contents or the new ones, never a torn mix. It is
+// the durability primitive for small sidecar state published next to a pool
+// — the sharded router's slot-assignment map being the motivating case: a
+// slot cutover is "live" only once its assignment survives power loss.
+func PublishFile(path string, data []byte) error {
+	tmp := path + syncTempSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pmem: publish %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pmem: publish %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pmem: publish %s: fsync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pmem: publish %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pmem: publish %s: %w", path, err)
+	}
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("pmem: publish %s: directory: %w", path, err)
+	}
+	return nil
+}
+
 // Snapshot returns a copy of the full media image — what a post-crash
 // observer would find. Crash tests diff snapshots against recovered state.
 func (d *Device) Snapshot() []byte {

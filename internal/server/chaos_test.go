@@ -108,7 +108,7 @@ func TestChaosShardIsolation(t *testing.T) {
 
 	// Inject a persistent fault into shard 0's media only.
 	const sick = 0
-	device(s.shards[sick].pool).SetFaultFn(pmem.FailSyncsAfter(0, errInjected))
+	device((*s.shards.Load())[sick].pool).SetFaultFn(pmem.FailSyncsAfter(0, errInjected))
 
 	// Phase 2: the sick shard's keyspace fails (never acks); every other
 	// shard keeps acking.

@@ -205,6 +205,14 @@ const (
 	opStats
 	opSnapshot
 	opTrace
+	// opSplit asks the sharded router to split a shard live (migrate.go); a
+	// plain Engine has no shards and rejects it at begin.
+	opSplit
+	// opBarrier is a queue flush: it applies as a no-op and acks at apply
+	// time, so its return means every previously enqueued request has been
+	// applied — without forcing a commit the way opPersist does. Migration
+	// uses it as the drain fence before copying a slot.
+	opBarrier
 )
 
 type result struct {
@@ -221,6 +229,7 @@ type request struct {
 	key, value []byte
 	found      bool        // Delete: key was present (carried to the ack)
 	ackOnApply bool        // AckApply: finish at apply time, durability async
+	shard      int         // Split: source shard to split, -1 = auto-pick
 	done       chan result // buffered(1); exactly one result per request
 }
 
@@ -235,7 +244,7 @@ var requestPool = sync.Pool{
 // (and release it) or receive exactly one result from done (and release it).
 func newRequest(op opKind, key, value []byte) *request {
 	r := requestPool.Get().(*request)
-	r.op, r.key, r.value, r.found, r.ackOnApply = op, key, value, false, false
+	r.op, r.key, r.value, r.found, r.ackOnApply, r.shard = op, key, value, false, false, 0
 	return r
 }
 
@@ -475,6 +484,9 @@ func (r *request) finish(res result) { r.done <- res }
 // inline from the read index, which is what lets the TCP server resolve a
 // pipelined GET without serializing it behind the connection's PUT acks.
 func (e *Engine) begin(req *request) error {
+	if req.op == opSplit {
+		return fmt.Errorf("server: SPLIT requires a sharded server (-shards >= 2)")
+	}
 	if req.op == opTrace {
 		// Answered inline from the recorder's own mutex — never through the
 		// queue — so a sealed or crashed engine still serves its trace, which
@@ -554,6 +566,14 @@ func (e *Engine) doPolicy(op opKind, key, value []byte, policy AckPolicy) result
 	res := <-req.done
 	req.release()
 	return res
+}
+
+// applyBarrier blocks until every request enqueued before it has been
+// applied (index-visible). Unlike Persist it forces no commit — durability
+// of the drained requests stays with their own acks — so it is cheap even
+// on a full-image pool where every forced commit republishes the image.
+func (e *Engine) applyBarrier() error {
+	return e.do(opBarrier, nil, nil).err
 }
 
 // Get returns the current value for key, served from the volatile read
@@ -824,6 +844,9 @@ func (e *Engine) apply(req *request) (waiter *request, mutated bool) {
 			return nil, true
 		}
 		return req, true
+	case opBarrier:
+		req.finish(result{epoch: e.pool.Epoch()})
+		return nil, false
 	case opStats:
 		req.finish(result{text: e.reg.Text()})
 		return nil, false

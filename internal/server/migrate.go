@@ -1,0 +1,359 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pax"
+)
+
+// This file is live resharding: moving slots between shards while the router
+// keeps serving. The unit of movement is one slot (1/NumSlots of the
+// keyspace); per-slot cutover means a migration stalls only the slot in
+// flight, never the other 255.
+//
+// # Crash-safety contract (documented in DESIGN.md)
+//
+// A slot cutover is committed by exactly one event: the atomic publish of
+// the slot map carrying the new assignment (SlotMap.Save — temp file, fsync,
+// rename, dir fsync). Everything around it is arranged so a crash on either
+// side of that event loses nothing:
+//
+//   - Before copying, the slot's gate is write-locked. Every request holds
+//     the gate's read side across route-lookup + dispatch, so after the
+//     write lock is held no request can still be routing this slot to the
+//     old owner; an apply barrier through the source's queue then ensures
+//     every already-enqueued write is applied and index-visible before the
+//     copy reads the source index (their durable acks ride the source's own
+//     commit pipeline — the copy below is durable on the destination either
+//     way).
+//   - The copy lands on the destination via the normal epoch machinery and
+//     is made durable (one forced group commit) BEFORE the map publishes.
+//     Crash before publish: the map still names the source, which has every
+//     key — the destination's orphan copies are purged at next open.
+//   - The map publishes, the in-memory route swaps, the gate unlocks. Only
+//     then is the source's copy deleted (ack-on-apply; it is garbage, not
+//     state). Crash before cleanup finishes: the map names the destination,
+//     which has every key — the source's stale copies are purged at next
+//     open.
+//
+// Open-time purge (openRoute case 1) makes both windows idempotent: every
+// shard deletes keys the authoritative map assigns elsewhere, so repeated
+// crashes mid-migration converge to the published assignment with every
+// acked write intact.
+
+// SplitReport describes one completed Split: where load moved and how much.
+type SplitReport struct {
+	// Source is the shard that gave slots away; Dest received them.
+	Source int `json:"source"`
+	Dest   int `json:"dest"`
+	// NewShard is whether Dest was created for this split (false when an
+	// existing zero-slot shard — e.g. a crash leftover — was adopted).
+	NewShard bool `json:"new_shard"`
+	// Shards is the fleet size after the split.
+	Shards int `json:"shards"`
+	// MovedSlots lists the slots that cut over; MovedKeys counts the keys
+	// copied. The moved keyspace fraction is len(MovedSlots)/NumSlots.
+	MovedSlots []int `json:"moved_slots"`
+	MovedKeys  int   `json:"moved_keys"`
+	// Seq is the slot map sequence number after the last cutover.
+	Seq uint64 `json:"slotmap_seq"`
+}
+
+// Split carves the hot half of one shard's slots onto another shard, live.
+// src names the shard to split, or -1 to pick the shard with the most
+// per-slot traffic since open. The destination is an existing shard that
+// owns zero slots if one exists (adopting, e.g., the leftover of a split
+// that crashed between creating a shard file and publishing a cutover), else
+// a newly created shard pool with the same geometry. The moving set is
+// chosen by per-slot op counts — slots greedily balanced so roughly half the
+// measured load leaves — and migrated one slot at a time: acked writes stay
+// durable throughout, and only the slot in flight ever stalls.
+//
+// A bare single-shard file layout cannot split: its pool file is <path>
+// itself, which cannot coexist with <path>.shard-* files. Start file-backed
+// deployments with -shards >= 2 to keep splitting open; in-memory engines
+// split from any count.
+func (s *ShardedEngine) Split(src int) (*SplitReport, error) {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+
+	m := s.route.Load()
+	shards := *s.shards.Load()
+	if s.path != "" && len(shards) == 1 {
+		return nil, fmt.Errorf("server: cannot split a bare single-shard file layout (start with -shards >= 2)")
+	}
+	if src < 0 {
+		src = s.hottestShard(m)
+	}
+	if src < 0 || src >= len(shards) {
+		return nil, fmt.Errorf("server: split source %d out of range (%d shards)", src, len(shards))
+	}
+	owned := m.slotsOf(src)
+	if len(owned) < 2 {
+		return nil, fmt.Errorf("server: shard %d owns %d slot(s); nothing to split", src, len(owned))
+	}
+
+	rep := &SplitReport{Source: src, Dest: -1}
+	// Prefer an existing shard that owns nothing: either the caller grew the
+	// fleet out of band or a previous split crashed after creating the shard
+	// file but before its first cutover published. Reusing it self-heals
+	// that window instead of leaking a file per crash.
+	for k := range shards {
+		if k != src && len(m.slotsOf(k)) == 0 {
+			rep.Dest = k
+			break
+		}
+	}
+	if rep.Dest < 0 {
+		dst, err := s.addShard()
+		if err != nil {
+			return nil, err
+		}
+		rep.Dest, rep.NewShard = dst, true
+	}
+
+	// Divide src's slots by measured load: heaviest first, each slot to the
+	// lighter side, source keeps the first (heaviest) slot so both sides end
+	// non-empty. Under uniform or zero counts this degenerates to an even
+	// halving, which is the right default.
+	sort.Slice(owned, func(i, j int) bool {
+		return s.slotOps[owned[i]].Load() > s.slotOps[owned[j]].Load()
+	})
+	var stayLoad, moveLoad uint64
+	var moving []int
+	for i, slot := range owned {
+		load := s.slotOps[slot].Load()
+		if i == 0 || stayLoad <= moveLoad {
+			stayLoad += load
+		} else {
+			moveLoad += load
+			moving = append(moving, slot)
+		}
+	}
+	sort.Ints(moving)
+
+	moves := make(map[int]int, len(moving))
+	for _, slot := range moving {
+		moves[slot] = rep.Dest
+	}
+	moved, err := s.migrateSlots(moves)
+	rep.MovedSlots = moving[:len(moved)]
+	rep.MovedKeys = 0
+	for _, n := range moved {
+		rep.MovedKeys += n
+	}
+	rep.Seq = s.route.Load().Seq
+	rep.Shards = len(*s.shards.Load())
+	if err != nil {
+		return rep, err
+	}
+	s.reshard.splits.Add(1)
+	return rep, nil
+}
+
+// Rebalance migrates the live assignment to an explicit target: assign[s]
+// names the shard that should own slot s. Slots already in place are
+// untouched; the rest cut over one at a time under the same crash contract
+// as Split. Targets may only reference existing shards — grow the fleet
+// with Split first.
+func (s *ShardedEngine) Rebalance(assign []int) error {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	if len(assign) != NumSlots {
+		return fmt.Errorf("server: rebalance wants %d slot assignments, got %d", NumSlots, len(assign))
+	}
+	n := len(*s.shards.Load())
+	m := s.route.Load()
+	moves := make(map[int]int)
+	for slot, dst := range assign {
+		if dst < 0 || dst >= n {
+			return fmt.Errorf("server: rebalance assigns slot %d to shard %d of %d", slot, dst, n)
+		}
+		if int(m.Assign[slot]) != dst {
+			moves[slot] = dst
+		}
+	}
+	_, err := s.migrateSlots(moves)
+	return err
+}
+
+// hottestShard sums per-slot op counts by owner and returns the busiest
+// shard (ties to the lowest index).
+func (s *ShardedEngine) hottestShard(m *SlotMap) int {
+	n := len(*s.shards.Load())
+	loads := make([]uint64, n)
+	for slot := range m.Assign {
+		if k := int(m.Assign[slot]); k < n {
+			loads[k] += s.slotOps[slot].Load()
+		}
+	}
+	best := 0
+	for k := 1; k < n; k++ {
+		if loads[k] > loads[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// addShard grows the fleet by one empty shard (pool + engine) with the same
+// geometry as the rest, publishing the new shard slice before returning —
+// the slice must be visible before any slot map references the new index.
+// Caller holds migrateMu. The new pool is created Overwrite: no published
+// assignment can reference it yet, so anything at its path is garbage.
+func (s *ShardedEngine) addShard() (int, error) {
+	shards := *s.shards.Load()
+	k := len(shards)
+	if k >= NumSlots {
+		return 0, fmt.Errorf("server: shard count %d already saturates the %d-slot routing space", k, NumSlots)
+	}
+	opts := s.opts
+	opts.Overwrite = true
+	sp := ShardPath(s.path, k+1, k)
+	pool, err := pax.CreatePool(sp, opts)
+	if err != nil {
+		return 0, fmt.Errorf("server: shard %d: %w", k, err)
+	}
+	eng, err := New(pool, s.accSlot, s.cfg)
+	if err != nil {
+		pool.Close()
+		return 0, fmt.Errorf("server: shard %d: %w", k, err)
+	}
+	next := make([]shard, k+1)
+	copy(next, shards)
+	next[k] = shard{pool: pool, eng: eng}
+	s.shards.Store(&next)
+	return k, nil
+}
+
+// migrateSlots cuts the given slots over to their destinations, one slot at
+// a time (see the crash-safety contract at the top of this file). It returns
+// the per-completed-slot moved-key counts in the iteration order of the
+// sorted slot list; on error, slots already cut over stay cut over — the map
+// on disk is always a consistent assignment.
+func (s *ShardedEngine) migrateSlots(moves map[int]int) ([]int, error) {
+	slots := make([]int, 0, len(moves))
+	for slot := range moves {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	var counts []int
+	for _, slot := range slots {
+		n, err := s.migrateSlot(slot, moves[slot])
+		if err != nil {
+			return counts, fmt.Errorf("server: migrating slot %d: %w", slot, err)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// migrateSlot moves one slot's keys to dst and publishes the cutover.
+// Caller holds migrateMu.
+func (s *ShardedEngine) migrateSlot(slot, dst int) (moved int, err error) {
+	m := s.route.Load()
+	src := int(m.Assign[slot])
+	if src == dst {
+		return 0, nil
+	}
+	shards := *s.shards.Load()
+	if dst < 0 || dst >= len(shards) {
+		return 0, fmt.Errorf("destination shard %d out of range (%d shards)", dst, len(shards))
+	}
+	srcEng, dstEng := shards[src].eng, shards[dst].eng
+
+	g := &s.gates[slot]
+	g.Lock()
+	defer g.Unlock()
+
+	// Drain barrier: requests hold the gate read side across enqueue, so
+	// everything racing us is already in src's FIFO queue; a barrier behind
+	// them returns once they are applied, i.e. index-visible to the copy
+	// below. Their durability is src's own commit pipeline's business — the
+	// copy carries their data to dst either way, and their durable acks are
+	// not blocked by the migration.
+	if err := srcEng.applyBarrier(); err != nil {
+		return 0, fmt.Errorf("draining source shard %d: %w", src, err)
+	}
+
+	// Resurrection guard: dst may hold stale copies of this slot from a
+	// migration that failed before publishing (in-process error paths; crash
+	// leftovers are purged at open). If they survived they could shadow a
+	// later state of the slot — delete before copying.
+	stale := dstEng.idx.collect(func(key []byte) bool { return SlotFor(key) == slot })
+	for _, e := range stale {
+		if _, _, err := dstEng.DeletePolicy(e.key, AckApply); err != nil {
+			return 0, fmt.Errorf("clearing destination shard %d: %w", dst, err)
+		}
+	}
+
+	// Copy through the normal epoch machinery: ack-on-apply puts (issued
+	// concurrently so they share group commits) then one forced commit, so
+	// the whole slot's copy is durable on dst before the cutover publishes.
+	pairs := srcEng.idx.collect(func(key []byte) bool { return SlotFor(key) == slot })
+	const copyFanout = 64
+	sem := make(chan struct{}, copyFanout)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var copyErr error
+	for _, e := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(key, value []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := dstEng.PutPolicy(key, value, AckApply); err != nil {
+				mu.Lock()
+				if copyErr == nil {
+					copyErr = err
+				}
+				mu.Unlock()
+			}
+		}(e.key, e.value)
+	}
+	wg.Wait()
+	if copyErr != nil {
+		return 0, fmt.Errorf("copying to shard %d: %w", dst, copyErr)
+	}
+	// The copy (and any preclear deletes) must be durable on dst before the
+	// cutover publishes; an empty slot with a clean dst has nothing to commit
+	// and skips the persist entirely — common when splitting a sparse shard.
+	if len(pairs) > 0 || len(stale) > 0 {
+		if _, err := dstEng.Persist(); err != nil {
+			return 0, fmt.Errorf("committing copy on shard %d: %w", dst, err)
+		}
+	}
+
+	// Cutover: persist the new assignment (the commit point), then swap the
+	// in-memory route. Readers load route before shards, so the new owner is
+	// visible atomically with the map.
+	next := m.clone()
+	next.Assign[slot] = uint16(dst)
+	next.Seq++
+	if next.Shards < dst+1 {
+		next.Shards = dst + 1
+	}
+	if s.persistMap {
+		if err := next.Save(s.path); err != nil {
+			return 0, fmt.Errorf("publishing slot map: %w", err)
+		}
+	}
+	s.route.Store(next)
+	s.reshard.movedSlots.Add(1)
+	s.reshard.movedKeys.Add(uint64(len(pairs)))
+
+	// Cleanup: the source's copies are garbage now — no route reaches them.
+	// Ack-on-apply is enough; if we crash before these deletes commit, the
+	// open-time purge removes them (the published map never names src).
+	for _, e := range pairs {
+		if _, _, err := srcEng.DeletePolicy(e.key, AckApply); err != nil {
+			// The cutover already published; a cleanup failure degrades to
+			// the crash case (stale copies purged at next open), so report
+			// success.
+			break
+		}
+	}
+	return len(pairs), nil
+}

@@ -92,6 +92,40 @@ func (ix *readIndex) delete(key []byte) {
 	s.mu.Unlock()
 }
 
+// indexEntry is one collected (key, value) pair; both slices are copies the
+// caller owns.
+type indexEntry struct {
+	key, value []byte
+}
+
+// collect returns a copy of every entry whose key satisfies keep. Each
+// stripe is read under its own RLock, so collection never blocks the writer
+// for longer than one stripe — but the result is a per-stripe-consistent
+// sample, not a global snapshot. Callers that need a stable view (slot
+// migration, the open-time purge) quiesce the mutator first: migration
+// write-locks the slot gate and drains the queue, the purge runs before
+// serving starts. The caller must not mutate the index from inside a
+// hypothetical callback — which is why this collects into a slice instead of
+// exposing iteration: deleting collected keys afterwards cannot deadlock on
+// a stripe lock.
+func (ix *readIndex) collect(keep func(key []byte) bool) []indexEntry {
+	var out []indexEntry
+	for i := range ix.stripes {
+		s := &ix.stripes[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if keep([]byte(k)) {
+				out = append(out, indexEntry{
+					key:   []byte(k),
+					value: append([]byte(nil), v...),
+				})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // len reports the indexed entry count (for the rebuild counter and tests).
 func (ix *readIndex) len() int {
 	n := 0

@@ -188,11 +188,21 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		op = opStats
 	case wire.OpTrace:
 		op = opTrace
+	case wire.OpSplit:
+		op = opSplit
 	default:
 		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
 		return func() wire.Response { return resp }
 	}
 	ereq := newRequest(op, req.Key, req.Value)
+	if op == opSplit {
+		// SplitAuto (all ones) means "server picks"; the engine side uses -1.
+		if req.Shard == wire.SplitAuto {
+			ereq.shard = -1
+		} else {
+			ereq.shard = int(req.Shard)
+		}
+	}
 	switch req.Flags {
 	case wire.FlagAckDefault:
 		ereq.ackOnApply = s.DefaultAckPolicy == AckApply && (op == opPut || op == opDelete || op == opPersist)
@@ -234,7 +244,7 @@ func renderResponse(op byte, res result) wire.Response {
 		return wire.Response{Status: st, Body: wire.EpochBody(res.epoch)}
 	case wire.OpStats:
 		return wire.Response{Status: wire.StatusOK, Body: []byte(res.text)}
-	case wire.OpTrace:
+	case wire.OpTrace, wire.OpSplit:
 		return wire.Response{Status: wire.StatusOK, Body: res.value}
 	}
 	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pax"
 	"pax/internal/epochlog"
@@ -27,6 +28,13 @@ import (
 // different keys commit concurrently. Durability ordering is per key, not
 // cross-shard: two acked writes to different shards may land in either
 // order after a crash, but every individually acked write is durable.
+//
+// Routing is slot-based (slotmap.go): a key hashes to one of NumSlots fixed
+// slots and a published SlotMap assigns slots to shards, so the shard count
+// can change live — Split/Rebalance (migrate.go) move individual slots while
+// unaffected slots never stall. Each slot has a gate (RWMutex): requests
+// take the read side around route-lookup + dispatch, migration takes the
+// write side to fence a slot while its keys move.
 
 // shard pairs one pool with the engine that is its only legal mutator.
 type shard struct {
@@ -38,13 +46,54 @@ type shard struct {
 // are safe for concurrent use. It implements the same Backend contract as
 // Engine, so the TCP server works over either.
 type ShardedEngine struct {
-	shards []shard
+	// shards is the live shard slice, replaced wholesale (copy-on-write)
+	// when Split grows the fleet. Loaded once per operation; the slice and
+	// its elements are immutable once published.
+	shards atomic.Pointer[[]shard]
+	// route is the live slot→shard assignment, replaced wholesale per
+	// cutover. Publication order matters: a new shards slice is stored
+	// before any map referencing the new shard, so a reader that observes
+	// the map always observes the shard too.
+	route atomic.Pointer[SlotMap]
+	// gates fence slots during migration: per-key requests hold the read
+	// side across route-lookup + dispatch, so once migration holds the
+	// write side no request can still be routing to the slot's old owner.
+	gates [NumSlots]sync.RWMutex
+	// slotOps counts per-key operations per slot — the load signal Split
+	// uses to pick the hottest shard and divide its slots.
+	slotOps [NumSlots]atomic.Uint64
+
+	// migrateMu serializes Split/Rebalance (and the shard-slice growth they
+	// do); routing never takes it.
+	migrateMu sync.Mutex
+	reshard   reshardCounters
+
+	// Creation-time parameters, kept so Split can open new shard pools with
+	// the same geometry and persist the map next to the same path.
+	path    string
+	opts    pax.Options
+	accSlot int
+	cfg     Config
+	// persistMap is whether cutovers write the slot-map sidecar: file-backed
+	// multi-shard layouts only. A bare single-shard file stays byte-for-byte
+	// compatible with the unsharded daemon (and cannot grow — see Split);
+	// in-memory engines have nothing to persist to.
+	persistMap bool
 
 	closeOnce sync.Once
 	closeErr  error
 
 	mu    sync.Mutex
 	final stats.Summary // metrics frozen at teardown; guarded by mu
+}
+
+// reshardCounters are the router's own metrics (the engines know nothing of
+// slots): published alongside the merged per-shard metrics.
+type reshardCounters struct {
+	splits     atomic.Uint64 // completed Split calls
+	movedSlots atomic.Uint64 // slot cutovers published
+	movedKeys  atomic.Uint64 // keys copied to a new owner
+	purgedKeys atomic.Uint64 // misrouted keys removed at open (crash leftovers)
 }
 
 // ShardPath returns shard k's pool file path. A single-shard engine uses
@@ -60,7 +109,12 @@ func ShardPath(path string, shards, k int) string {
 // DiscoverShards inspects the files at path and reports how many shards a
 // previous run left behind: 1 for a bare pool file, N for a contiguous
 // <path>.shard-0..N-1 set, 0 for nothing. A gap in the shard sequence or a
-// bare file alongside shard files is corruption worth refusing to guess at.
+// bare file alongside shard files is corruption worth refusing to guess at,
+// and so is a slot map that references more shards than there are files —
+// those slots' keys would have nowhere to live. A slot map referencing
+// *fewer* shards is fine: a crash between Split creating a shard file and
+// the first cutover publishing it leaves exactly that, and the extra shard
+// simply owns zero slots until the next split adopts it.
 func DiscoverShards(path string) (int, error) {
 	if path == "" {
 		return 0, nil
@@ -76,39 +130,41 @@ func DiscoverShards(path string) (int, error) {
 	if bare && len(matches) > 0 {
 		return 0, fmt.Errorf("server: both %q and %d shard files exist; remove one layout", path, len(matches))
 	}
-	if bare {
-		return 1, nil
-	}
-	if len(matches) == 0 {
-		return 0, nil
-	}
-	seen := make(map[int]bool)
 	count := 0
-	for _, m := range matches {
-		if strings.HasSuffix(m, ".tmp") {
-			// Staging litter from a crash mid-Sync (pmem writes <file>.tmp
-			// then renames). Open cleans it per shard; it is not a shard.
-			continue
+	if bare {
+		count = 1
+	} else if len(matches) > 0 {
+		seen := make(map[int]bool)
+		for _, m := range matches {
+			if strings.HasSuffix(m, ".tmp") {
+				// Staging litter from a crash mid-Sync (pmem writes <file>.tmp
+				// then renames). Open cleans it per shard; it is not a shard.
+				continue
+			}
+			if strings.HasSuffix(m, epochlog.DirSuffix) {
+				// A shard's delta-epoch-store segment directory
+				// (<shard>.epochlog), not a shard of its own.
+				continue
+			}
+			k, err := strconv.Atoi(strings.TrimPrefix(m, path+".shard-"))
+			if err != nil {
+				return 0, fmt.Errorf("server: unrecognized shard file %q", m)
+			}
+			seen[k] = true
+			count++
 		}
-		if strings.HasSuffix(m, epochlog.DirSuffix) {
-			// A shard's delta-epoch-store segment directory
-			// (<shard>.epochlog), not a shard of its own.
-			continue
+		for k := 0; k < count; k++ {
+			if !seen[k] {
+				return 0, fmt.Errorf("server: shard files are not contiguous: missing %s", ShardPath(path, count+1, k))
+			}
 		}
-		k, err := strconv.Atoi(strings.TrimPrefix(m, path+".shard-"))
-		if err != nil {
-			return 0, fmt.Errorf("server: unrecognized shard file %q", m)
-		}
-		seen[k] = true
-		count++
 	}
-	if count == 0 {
-		return 0, nil
+	m, err := LoadSlotMap(path)
+	if err != nil {
+		return 0, err
 	}
-	for k := 0; k < count; k++ {
-		if !seen[k] {
-			return 0, fmt.Errorf("server: shard files are not contiguous: missing %s", ShardPath(path, count+1, k))
-		}
+	if m != nil && m.Shards > count {
+		return 0, fmt.Errorf("server: slot map references %d shards but only %d shard files exist", m.Shards, count)
 	}
 	return count, nil
 }
@@ -119,18 +175,42 @@ func DiscoverShards(path string) (int, error) {
 // parallel, not summed — and the first error wins: on any failure every
 // already-opened shard is closed and the error is returned. opts sizes each
 // shard individually (DataSize is per shard, not divided). With
-// opts.Overwrite set, any existing files of either layout are removed first
-// so a reformat never leaves stale higher-numbered shards behind.
+// opts.Overwrite set, any existing files of either layout (and the slot-map
+// sidecar) are removed first so a reformat never leaves stale higher-numbered
+// shards behind.
+//
+// Routing state comes up in one of three ways: a persisted slot map is
+// loaded and its routing reconciled (crash leftovers from an interrupted
+// migration are purged — see openRoute); a fresh or overwritten layout gets
+// the default round-robin map; and a pre-slot-map multi-shard layout is
+// adopted in place, moving any key whose slot-map owner differs from its
+// legacy FNV-mod-N owner before serving starts.
 func OpenSharded(path string, shards int, opts pax.Options, slot int, cfg Config) (*ShardedEngine, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("server: shard count %d must be positive", shards)
+	}
+	if shards > NumSlots {
+		return nil, fmt.Errorf("server: shard count %d exceeds the %d-slot routing space", shards, NumSlots)
 	}
 	if opts.Overwrite && path != "" {
 		if err := removeShardFiles(path); err != nil {
 			return nil, err
 		}
 	}
-	s := &ShardedEngine{shards: make([]shard, shards)}
+	var persisted *SlotMap
+	if path != "" && !opts.Overwrite {
+		m, err := LoadSlotMap(path)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil && m.Shards > shards {
+			return nil, fmt.Errorf("server: slot map references %d shards, opening only %d", m.Shards, shards)
+		}
+		persisted = m
+	}
+	s := &ShardedEngine{path: path, opts: opts, accSlot: slot, cfg: cfg}
+	s.persistMap = path != "" && shards > 1
+	list := make([]shard, shards)
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -165,12 +245,12 @@ func OpenSharded(path string, shards int, opts pax.Options, slot int, cfg Config
 				fail(fmt.Errorf("server: shard %d: %w", k, err))
 				return
 			}
-			s.shards[k] = shard{pool: pool, eng: eng}
+			list[k] = shard{pool: pool, eng: eng}
 		}(k)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		for _, sh := range s.shards {
+		for _, sh := range list {
 			if sh.eng != nil {
 				sh.eng.Close()
 			}
@@ -180,12 +260,123 @@ func OpenSharded(path string, shards int, opts pax.Options, slot int, cfg Config
 		}
 		return nil, firstErr
 	}
+	s.shards.Store(&list)
+	if err := s.openRoute(persisted, opts.Overwrite); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
-// removeShardFiles clears both layouts (bare file and shard files) so an
-// Overwrite reformat never leaves a stale layout for DiscoverShards to trip
-// over.
+// openRoute installs the routing table at open time and reconciles the
+// shards' contents with it. Three cases:
+//
+//  1. A persisted map exists: install it, then purge — every shard deletes
+//     the keys the map assigns elsewhere. A crash during migration leaves
+//     either orphan copies on the destination (cutover not published: the
+//     source is still authoritative) or stale copies on the source (cutover
+//     published, cleanup unfinished: the destination is authoritative);
+//     owner-wins deletion erases both kinds, and because it runs before
+//     serving starts it is idempotent across repeated crashes.
+//  2. No map, fresh/overwritten or single-shard layout: install the default
+//     map (persisting it for file-backed multi-shard layouts).
+//  3. No map, existing multi-shard layout (pre-slot-map files): adopt — any
+//     key whose default-map owner differs from the shard that holds it is
+//     copied to its owner, deleted from the holder, and the map persisted
+//     last. For power-of-two shard counts the default map reproduces legacy
+//     FNV-mod-N routing exactly and nothing moves.
+func (s *ShardedEngine) openRoute(persisted *SlotMap, fresh bool) error {
+	shards := *s.shards.Load()
+	n := len(shards)
+	if persisted != nil {
+		m := persisted.clone()
+		if m.Shards < n {
+			// Extra shard files beyond the map (interrupted Split): they own
+			// zero slots; record the true fleet size so the next split may
+			// reuse them.
+			m.Shards = n
+		}
+		s.route.Store(m)
+		return s.purgeMisrouted()
+	}
+	m := DefaultSlotMap(n)
+	s.route.Store(m)
+	if !s.persistMap {
+		return nil
+	}
+	if !fresh && n > 1 {
+		// Adoption: the files predate slot routing (MapPool on an existing
+		// layout with no sidecar). Move misplaced keys before serving.
+		if err := s.adoptLegacyLayout(); err != nil {
+			return err
+		}
+	}
+	return m.Save(s.path)
+}
+
+// purgeMisrouted deletes, on every shard, the keys the routing table assigns
+// to a different shard. Runs at open, before serving.
+func (s *ShardedEngine) purgeMisrouted() error {
+	shards := *s.shards.Load()
+	m := s.route.Load()
+	for k := range shards {
+		self := k
+		stale := shards[k].eng.idx.collect(func(key []byte) bool {
+			return int(m.Assign[SlotFor(key)]) != self
+		})
+		for _, e := range stale {
+			if _, _, err := shards[k].eng.Delete(e.key); err != nil {
+				return fmt.Errorf("server: shard %d: purging misrouted key: %w", k, err)
+			}
+			s.reshard.purgedKeys.Add(1)
+		}
+	}
+	return nil
+}
+
+// adoptLegacyLayout moves every key from the shard the legacy FNV-mod-N
+// router stored it on to the shard the slot map assigns. Copy-all then
+// delete-all, each durable, with the map saved only after — so a crash at
+// any point re-runs adoption on next open, and re-copying an already-moved
+// key rewrites the same value (no writes happen before serving starts).
+func (s *ShardedEngine) adoptLegacyLayout() error {
+	shards := *s.shards.Load()
+	m := s.route.Load()
+	for k := range shards {
+		self := k
+		moving := shards[k].eng.idx.collect(func(key []byte) bool {
+			return int(m.Assign[SlotFor(key)]) != self
+		})
+		if len(moving) == 0 {
+			continue
+		}
+		for _, e := range moving {
+			owner := int(m.Assign[SlotFor(e.key)])
+			if _, err := shards[owner].eng.PutPolicy(e.key, e.value, AckApply); err != nil {
+				return fmt.Errorf("server: adopting layout: shard %d: %w", owner, err)
+			}
+		}
+		// One durable barrier per destination beats one commit per key.
+		for owner := range shards {
+			if owner == self {
+				continue
+			}
+			if _, err := shards[owner].eng.Persist(); err != nil {
+				return fmt.Errorf("server: adopting layout: shard %d: %w", owner, err)
+			}
+		}
+		for _, e := range moving {
+			if _, _, err := shards[self].eng.Delete(e.key); err != nil {
+				return fmt.Errorf("server: adopting layout: shard %d: %w", self, err)
+			}
+		}
+	}
+	return nil
+}
+
+// removeShardFiles clears both layouts (bare file and shard files) plus the
+// slot-map sidecar so an Overwrite reformat never leaves a stale layout for
+// DiscoverShards to trip over.
 func removeShardFiles(path string) error {
 	matches, err := filepath.Glob(path + ".shard-*")
 	if err != nil {
@@ -194,6 +385,7 @@ func removeShardFiles(path string) error {
 	if _, err := os.Stat(path); err == nil {
 		matches = append(matches, path)
 	}
+	matches = append(matches, SlotMapPath(path))
 	for _, m := range matches {
 		// Each pool file may have an epoch-log segment directory next to it
 		// (which the glob also matches directly); a reformat must take it
@@ -214,42 +406,59 @@ func removeShardFiles(path string) error {
 	return nil
 }
 
-// NumShards reports the shard count.
-func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+// NumShards reports the current shard count (it grows under Split).
+func (s *ShardedEngine) NumShards() int { return len(*s.shards.Load()) }
 
 // MediaSize reports the per-shard pool media size in bytes (every shard is
 // created with the same geometry).
-func (s *ShardedEngine) MediaSize() int { return s.shards[0].pool.MediaSize() }
+func (s *ShardedEngine) MediaSize() int { return (*s.shards.Load())[0].pool.MediaSize() }
 
 // EpochLogEnabled reports whether the shards persist through the
 // log-structured delta epoch store rather than full-image publishes.
-func (s *ShardedEngine) EpochLogEnabled() bool { return s.shards[0].pool.EpochLogEnabled() }
+func (s *ShardedEngine) EpochLogEnabled() bool { return (*s.shards.Load())[0].pool.EpochLogEnabled() }
 
-// ShardFor reports which shard owns key. The mapping is a pure function of
-// the key bytes and the shard count — FNV-1a mod N — so it is stable across
-// restarts: reopening the same shard files routes every key back to the
-// pool that holds it.
+// Route returns a copy of the live slot→shard assignment.
+func (s *ShardedEngine) Route() SlotMap { return *s.route.Load() }
+
+// ShardFor reports which shard currently owns key: the key's slot (a pure
+// function of the key bytes, stable forever) looked up in the live
+// assignment. With an unchanged assignment the answer is stable across
+// restarts — reopening the same shard files routes every key back to the
+// pool that holds it; after a Split only keys in the moved slots answer
+// differently.
 func (s *ShardedEngine) ShardFor(key []byte) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	return int(h % uint64(len(s.shards)))
+	return int(s.route.Load().Assign[SlotFor(key)])
+}
+
+// engineForSlot resolves a slot to its owning engine. The route is loaded
+// before the shard slice: new slices are published before any map that
+// references them, so observing the map implies observing the shard.
+func (s *ShardedEngine) engineForSlot(slot int) *Engine {
+	m := s.route.Load()
+	shards := *s.shards.Load()
+	return shards[m.Assign[slot]].eng
 }
 
 // begin implements Backend: per-key operations route to the owning shard's
 // queue (FIFO per shard, so a connection's same-key operations keep their
-// wire order); persist and stats fan out across every shard and deliver one
-// merged result.
+// wire order) under the slot's gate; persist and stats fan out across every
+// shard and deliver one merged result; split runs the migration off the
+// dispatch goroutine.
 func (s *ShardedEngine) begin(req *request) error {
 	switch req.op {
 	case opGet, opPut, opDelete:
-		return s.shards[s.ShardFor(req.key)].eng.begin(req)
+		slot := SlotFor(req.key)
+		s.slotOps[slot].Add(1)
+		g := &s.gates[slot]
+		// The gate read side brackets route-lookup + dispatch: for writes
+		// that is the enqueue (FIFO order then guarantees a later drain
+		// barrier on the old owner sees them), for index reads the whole
+		// lookup (so a read never lands on a shard whose slot already cut
+		// over). Migration's write side therefore fences the slot exactly.
+		g.RLock()
+		err := s.engineForSlot(slot).begin(req)
+		g.RUnlock()
+		return err
 	case opPersist:
 		go func() {
 			epoch, err := s.Persist()
@@ -260,6 +469,19 @@ func (s *ShardedEngine) begin(req *request) error {
 		go func() {
 			text, err := s.StatsText()
 			req.finish(result{text: text, err: err})
+		}()
+		return nil
+	case opSplit:
+		// Migration blocks on drain barriers and bulk copies — never on the
+		// dispatch goroutine.
+		go func() {
+			rep, err := s.Split(req.shard)
+			if err != nil {
+				req.finish(result{err: err})
+				return
+			}
+			buf, err := json.Marshal(rep)
+			req.finish(result{value: buf, err: err})
 		}()
 		return nil
 	case opTrace:
@@ -273,12 +495,27 @@ func (s *ShardedEngine) begin(req *request) error {
 	return fmt.Errorf("server: unknown op %d", req.op)
 }
 
+// doKey runs one per-key request through begin (slot gate, route, shard
+// queue) to completion, recycling the request struct on every path.
+func (s *ShardedEngine) doKey(op opKind, key, value []byte, policy AckPolicy) result {
+	req := newRequest(op, key, value)
+	req.ackOnApply = policy == AckApply
+	if err := s.begin(req); err != nil {
+		req.release()
+		return result{err: err}
+	}
+	res := <-req.done
+	req.release()
+	return res
+}
+
 // Trace merges every shard's flight recorder into one snapshot: records are
 // stamped with their shard index and interleaved oldest-first by batch start
 // time. Sequence numbers stay per-shard — (shard, seq) identifies a commit.
 func (s *ShardedEngine) Trace() TraceSnapshot {
-	out := TraceSnapshot{Shards: len(s.shards)}
-	for k, sh := range s.shards {
+	shards := *s.shards.Load()
+	out := TraceSnapshot{Shards: len(shards)}
+	for k, sh := range shards {
 		snap := sh.eng.Trace()
 		if snap.SlowThresholdNS > out.SlowThresholdNS {
 			out.SlowThresholdNS = snap.SlowThresholdNS
@@ -304,49 +541,55 @@ func (s *ShardedEngine) Trace() TraceSnapshot {
 // no queue, no waiting behind the shard's commit in flight (read-your-writes
 // with respect to acked mutations, like Engine.Get).
 func (s *ShardedEngine) Get(key []byte) ([]byte, bool, error) {
-	return s.shards[s.ShardFor(key)].eng.Get(key)
+	res := s.doKey(opGet, key, nil, AckDurable)
+	return res.value, res.found, res.err
 }
 
 // Put routes to the key's shard and blocks until that shard's group commit
 // makes the write durable.
 func (s *ShardedEngine) Put(key, value []byte) (uint64, error) {
-	return s.shards[s.ShardFor(key)].eng.Put(key, value)
+	res := s.doKey(opPut, key, value, AckDurable)
+	return res.epoch, res.err
 }
 
 // PutPolicy routes to the key's shard under an explicit ack policy (see
 // Engine.PutPolicy); the policy is per request, so one router serves
 // durable and apply-acked writers side by side.
 func (s *ShardedEngine) PutPolicy(key, value []byte, policy AckPolicy) (uint64, error) {
-	return s.shards[s.ShardFor(key)].eng.PutPolicy(key, value, policy)
+	res := s.doKey(opPut, key, value, policy)
+	return res.epoch, res.err
 }
 
 // Delete routes to the key's shard, blocking like Put.
 func (s *ShardedEngine) Delete(key []byte) (bool, uint64, error) {
-	return s.shards[s.ShardFor(key)].eng.Delete(key)
+	res := s.doKey(opDelete, key, nil, AckDurable)
+	return res.found, res.epoch, res.err
 }
 
 // DeletePolicy routes to the key's shard under an explicit ack policy.
 func (s *ShardedEngine) DeletePolicy(key []byte, policy AckPolicy) (bool, uint64, error) {
-	return s.shards[s.ShardFor(key)].eng.DeletePolicy(key, policy)
+	res := s.doKey(opDelete, key, nil, policy)
+	return res.found, res.epoch, res.err
 }
 
 // Persist forces a group commit on every shard in parallel and joins. The
 // returned epoch is the maximum shard epoch — shards number their epochs
 // independently, so it is a watermark, not a global ordering point.
 func (s *ShardedEngine) Persist() (uint64, error) {
-	epochs := make([]uint64, len(s.shards))
-	errs := make([]error, len(s.shards))
+	shards := *s.shards.Load()
+	epochs := make([]uint64, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for k := range s.shards {
+	for k := range shards {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			epochs[k], errs[k] = s.shards[k].eng.Persist()
+			epochs[k], errs[k] = shards[k].eng.Persist()
 		}(k)
 	}
 	wg.Wait()
 	var max uint64
-	for k := range s.shards {
+	for k := range shards {
 		if errs[k] != nil {
 			return 0, fmt.Errorf("server: shard %d: %w", k, errs[k])
 		}
@@ -360,8 +603,8 @@ func (s *ShardedEngine) Persist() (uint64, error) {
 // Metrics samples every shard's registry on its writer loop (in parallel)
 // and merges them: each metric appears once per shard with a `{shard="K"}`
 // suffix and once as the plain-named sum across shards, plus a
-// paxserve_shards count. After Close or Crash it returns the final snapshot
-// frozen at teardown.
+// paxserve_shards count and the router's own slot/reshard gauges. After
+// Close or Crash it returns the final snapshot frozen at teardown.
 func (s *ShardedEngine) Metrics() (stats.Summary, error) {
 	s.mu.Lock()
 	final := s.final
@@ -369,14 +612,15 @@ func (s *ShardedEngine) Metrics() (stats.Summary, error) {
 	if final != nil {
 		return final, nil
 	}
-	snaps := make([]stats.Summary, len(s.shards))
-	errs := make([]error, len(s.shards))
+	shards := *s.shards.Load()
+	snaps := make([]stats.Summary, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for k := range s.shards {
+	for k := range shards {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			snaps[k], errs[k] = s.shards[k].eng.Snapshot()
+			snaps[k], errs[k] = shards[k].eng.Snapshot()
 		}(k)
 	}
 	wg.Wait()
@@ -385,7 +629,19 @@ func (s *ShardedEngine) Metrics() (stats.Summary, error) {
 			return nil, fmt.Errorf("server: shard %d: %w", k, err)
 		}
 	}
-	return mergeSummaries(snaps), nil
+	m := mergeSummaries(snaps)
+	s.addRouterMetrics(m)
+	return m, nil
+}
+
+// addRouterMetrics publishes the routing layer's own state into a merged
+// summary: the live assignment's sequence number and the reshard counters.
+func (s *ShardedEngine) addRouterMetrics(m stats.Summary) {
+	m["paxserve_slotmap_seq"] = float64(s.route.Load().Seq)
+	m["paxserve_reshard_splits"] = float64(s.reshard.splits.Load())
+	m["paxserve_reshard_moved_slots"] = float64(s.reshard.movedSlots.Load())
+	m["paxserve_reshard_moved_keys"] = float64(s.reshard.movedKeys.Load())
+	m["paxserve_reshard_purged_keys"] = float64(s.reshard.purgedKeys.Load())
 }
 
 // StatsText renders Metrics as `name value` lines — the sharded STATS reply.
@@ -444,7 +700,7 @@ type AggregateStats struct {
 // max). Counters are atomic, so this is safe at any time.
 func (s *ShardedEngine) AggregateStats() AggregateStats {
 	var a AggregateStats
-	for _, sh := range s.shards {
+	for _, sh := range *s.shards.Load() {
 		st := sh.eng.Stats()
 		a.AckedWrites += st.AckedWrites.Load()
 		a.AckedOnApply += st.AckedOnApply.Load()
@@ -460,14 +716,28 @@ func (s *ShardedEngine) AggregateStats() AggregateStats {
 	return a
 }
 
+// ShardAckedWrites samples each shard's acked-writes counter (durable +
+// on-apply acks), indexed by shard — the imbalance signal the loadgen
+// reports as max/mean. Counters are atomic, so this is safe under traffic.
+func (s *ShardedEngine) ShardAckedWrites() []uint64 {
+	shards := *s.shards.Load()
+	out := make([]uint64, len(shards))
+	for k, sh := range shards {
+		st := sh.eng.Stats()
+		out[k] = st.AckedWrites.Load() + st.AckedOnApply.Load()
+	}
+	return out
+}
+
 // Health reports each shard's seal error, indexed by shard: nil for a shard
 // that is serving, the wrapped ErrSealed durability failure for one that
 // sealed fail-stop. A sealed shard takes down only its own keyspace — the
 // router keeps serving the others — so callers use Health to decide whether
 // "some errors" means degraded (a subset sealed) or down (all sealed).
 func (s *ShardedEngine) Health() []error {
-	errs := make([]error, len(s.shards))
-	for k, sh := range s.shards {
+	shards := *s.shards.Load()
+	errs := make([]error, len(shards))
+	for k, sh := range shards {
 		errs[k] = sh.eng.SealErr()
 	}
 	return errs
@@ -475,8 +745,9 @@ func (s *ShardedEngine) Health() []error {
 
 // Recoveries reports what opening each shard repaired, indexed by shard.
 func (s *ShardedEngine) Recoveries() []pax.RecoveryInfo {
-	recs := make([]pax.RecoveryInfo, len(s.shards))
-	for k, sh := range s.shards {
+	shards := *s.shards.Load()
+	recs := make([]pax.RecoveryInfo, len(shards))
+	for k, sh := range shards {
 		recs[k] = sh.pool.Recovery()
 	}
 	return recs
@@ -485,7 +756,7 @@ func (s *ShardedEngine) Recoveries() []pax.RecoveryInfo {
 // DurableEpoch reports the highest committed epoch across shards.
 func (s *ShardedEngine) DurableEpoch() uint64 {
 	var max uint64
-	for _, sh := range s.shards {
+	for _, sh := range *s.shards.Load() {
 		if e := sh.pool.DurableEpoch(); e > max {
 			max = e
 		}
@@ -500,9 +771,10 @@ func (s *ShardedEngine) DurableEpoch() uint64 {
 // individual failures; the first durability error (by shard index) is
 // returned so a degraded shutdown is never reported clean.
 func (s *ShardedEngine) Close() error {
-	errs := make([]error, len(s.shards))
+	shards := *s.shards.Load()
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for k, sh := range s.shards {
+	for k, sh := range shards {
 		wg.Add(1)
 		go func(k int, e *Engine) {
 			defer wg.Done()
@@ -528,7 +800,7 @@ func (s *ShardedEngine) Close() error {
 // (no final persist; unacked mutations roll back on reopen).
 func (s *ShardedEngine) Crash() error {
 	var wg sync.WaitGroup
-	for _, sh := range s.shards {
+	for _, sh := range *s.shards.Load() {
 		wg.Add(1)
 		go func(e *Engine) {
 			defer wg.Done()
@@ -543,14 +815,17 @@ func (s *ShardedEngine) Crash() error {
 // sampling the registries directly cannot race a mutator) and close pools.
 func (s *ShardedEngine) teardown() error {
 	s.closeOnce.Do(func() {
-		snaps := make([]stats.Summary, len(s.shards))
-		for k, sh := range s.shards {
+		shards := *s.shards.Load()
+		snaps := make([]stats.Summary, len(shards))
+		for k, sh := range shards {
 			snaps[k] = sh.eng.reg.Snapshot()
 		}
+		final := mergeSummaries(snaps)
+		s.addRouterMetrics(final)
 		s.mu.Lock()
-		s.final = mergeSummaries(snaps)
+		s.final = final
 		s.mu.Unlock()
-		for k, sh := range s.shards {
+		for k, sh := range shards {
 			if err := sh.pool.Close(); err != nil && s.closeErr == nil {
 				s.closeErr = fmt.Errorf("server: shard %d: %w", k, err)
 			}

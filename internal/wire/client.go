@@ -256,3 +256,21 @@ func (c *Client) Trace() ([]byte, error) {
 	}
 	return resp.Body, nil
 }
+
+// Split asks a sharded server to split one shard live: shard >= 0 names the
+// split source, shard < 0 sends SplitAuto and the server picks its hottest
+// shard. The reply is the server's split report as raw JSON (a SplitReport;
+// like Trace, the wire layer passes it through undecoded). The call blocks
+// until the migration completes — every moved slot is copied, durable on
+// its new owner, and the new assignment is published.
+func (c *Client) Split(shard int) ([]byte, error) {
+	operand := SplitAuto
+	if shard >= 0 {
+		operand = uint32(shard)
+	}
+	resp, err := c.roundTrip(Request{Op: OpSplit, Shard: operand})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+func TestSplitRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpSplit, Shard: 3},
+		{Op: OpSplit, Shard: 0},
+		{Op: OpSplit, Shard: SplitAuto},
+	}
+	var buf bytes.Buffer
+	for _, req := range reqs {
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, want := range reqs {
+		got, err := ReadRequest(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != OpSplit || got.Shard != want.Shard {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestSplitRequestTruncatedOperand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, Request{Op: OpSplit, Shard: 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < 4; cut++ {
+		truncated := full[:len(full)-cut]
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(truncated))); err == nil {
+			t.Fatalf("truncated SPLIT frame (cut %d bytes) accepted", cut)
+		}
+	}
+}

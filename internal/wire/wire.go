@@ -14,6 +14,7 @@
 //	PUT(2):             klen:u32be key vlen:u32be value [flags:u8]
 //	PERSIST(4):         [flags:u8]
 //	STATS(5), TRACE(6): empty
+//	SPLIT(7):           shard:u32be (SplitAuto = pick the hottest shard)
 //
 // The optional trailing flags byte on mutations selects the ack policy:
 // FlagAckDurable (ack only once the group commit is on media) or
@@ -28,8 +29,8 @@
 //
 // Response bodies: the value for GET, the durable epoch (u64le) for PUT /
 // DELETE / PERSIST, the registry text for STATS, the flight-recorder
-// snapshot as JSON for TRACE, an error message for StatusError, empty
-// otherwise. The protocol is strictly in-order
+// snapshot as JSON for TRACE, the split report as JSON for SPLIT, an error
+// message for StatusError, empty otherwise. The protocol is strictly in-order
 // request/response per connection, which is what lets clients pipeline:
 // the k-th response on a connection always answers the k-th request.
 //
@@ -67,7 +68,12 @@ const (
 	OpPersist byte = 4
 	OpStats   byte = 5
 	OpTrace   byte = 6
+	OpSplit   byte = 7
 )
+
+// SplitAuto is the SPLIT shard operand meaning "pick the hottest shard":
+// the server chooses the split source from its per-slot load counters.
+const SplitAuto = ^uint32(0)
 
 // Response statuses. StatusBusy is the retryable subset of failure: the
 // server's request queue stayed full past its enqueue timeout (backpressure),
@@ -111,6 +117,9 @@ type Request struct {
 	// Flags is the ack-policy byte on PUT/DELETE/PERSIST (FlagAck*);
 	// FlagAckDefault encodes as no byte at all.
 	Flags byte
+	// Shard is SPLIT's operand: the shard to split, or SplitAuto to let the
+	// server pick the hottest.
+	Shard uint32
 }
 
 // Response is one decoded server reply.
@@ -134,6 +143,8 @@ func OpName(op byte) string {
 		return "STATS"
 	case OpTrace:
 		return "TRACE"
+	case OpSplit:
+		return "SPLIT"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -203,6 +214,8 @@ func EncodeRequest(req Request) ([]byte, error) {
 		buf = appendBytes(buf, req.Value)
 	case OpPersist, OpStats, OpTrace:
 		// No body.
+	case OpSplit:
+		buf = binary.BigEndian.AppendUint32(buf, req.Shard)
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
 	}
@@ -247,6 +260,12 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		}
 	case OpPersist, OpStats, OpTrace:
 		// No body.
+	case OpSplit:
+		if len(rest) < 4 {
+			return Request{}, fmt.Errorf("wire: truncated SPLIT shard operand")
+		}
+		req.Shard = binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode %d", req.Op)
 	}
