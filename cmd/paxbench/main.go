@@ -79,6 +79,7 @@ func main() {
 		valueDist  = flag.String("value-dist", "fixed", "loadgen: value size distribution: fixed | uniform (1..value bytes)")
 		seed       = flag.Int64("seed", 1, "loadgen: base RNG seed for shared-keyspace sampling")
 		split      = flag.Bool("split", false, "loadgen: run the live-split A/B instead of the shard sweep: measure, split the hottest shard, measure again, then crash and verify no acked write was lost (needs -keys; uses the first -shards count, min 2)")
+		autopilot  = flag.Bool("autopilot", false, "loadgen: run the reshard-autopilot A/B instead of the shard sweep: measure, flood until the policy splits on its own, measure again, idle until it merges back, then crash and verify (uses the first -shards count, min 2)")
 	)
 	flag.Parse()
 
@@ -107,6 +108,7 @@ func main() {
 			valueDist:  *valueDist,
 			seed:       *seed,
 			split:      *split,
+			autopilot:  *autopilot,
 		}
 		if err := runLoadgen(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
@@ -190,6 +192,7 @@ type loadgenConfig struct {
 	valueDist  string
 	seed       int64
 	split      bool
+	autopilot  bool
 }
 
 // runLoadgen sweeps persist mode × data size × shard count and reports each
@@ -207,6 +210,9 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 	if cfg.split {
 		return runSplit(cfg, counts[0])
+	}
+	if cfg.autopilot {
+		return runAutopilot(cfg, counts[0])
 	}
 	sizes := []uint64{0} // 0 = RunLoad's 32 MiB default
 	if cfg.dataSizes != "" {
@@ -417,5 +423,87 @@ func runSplit(cfg loadgenConfig, shards int) error {
 	fmt.Printf("split: shard %d -> %d (new shard: %v), %d/%d slots moved (%.1f%% of keyspace), %d keys, %.1f ms\n",
 		res.Split.Source, res.Split.Dest, res.Split.NewShard,
 		res.Split.MovedSlots, 256, res.Split.MovedFrac*100, res.Split.MovedKeys, res.Split.SplitMS)
+	return nil
+}
+
+// runAutopilot drives the policy-driven reshard A/B: nobody calls Split —
+// the autopilot must grow the fleet under the zipf flood and shrink it back
+// at idle, with a crash+reopen verification at the end.
+func runAutopilot(cfg loadgenConfig, shards int) error {
+	if shards < 2 {
+		shards = 2
+	}
+	dir := cfg.poolDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "paxbench-autopilot-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	keys := cfg.keys
+	if keys == 0 {
+		keys = 10_000
+	}
+	dist := cfg.dist
+	if dist == "uniform" {
+		dist = "zipf" // the A/B is about skew; an explicit -dist zipf is the expected call
+	}
+	zipfS := cfg.zipfS
+	if zipfS == 0 {
+		zipfS = 1.5 // skewed enough that the hot shard's pipeline genuinely saturates
+	}
+	spec := benchkit.LoadSpec{
+		Clients:       cfg.clients,
+		OpsPerClient:  cfg.ops,
+		ValueBytes:    64,
+		ReadRatio:     cfg.readRatio,
+		QueuedReads:   cfg.queued,
+		MaxBatch:      cfg.maxBatch,
+		MaxDelay:      cfg.maxDelay,
+		Shards:        shards,
+		CommitLatency: cfg.commitLat,
+		PoolDir:       dir,
+		EpochLog:      cfg.epochLog,
+		Keys:          keys,
+		Dist:          dist,
+		ZipfS:         zipfS,
+		RMWRatio:      cfg.rmwRatio,
+		ValueDist:     cfg.valueDist,
+		Seed:          cfg.seed,
+	}
+	res, err := benchkit.RunAutopilotLoad(spec)
+	if err != nil {
+		return err
+	}
+	records := res.JSON()
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.jsonOut != "" {
+		if err := os.WriteFile(cfg.jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.format == "json" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	t := stats.NewTable("reshard autopilot A/B", "phase", "shards", "writes/s", "ops/s", "imbalance", "ack p99 ms", "policy wait ms")
+	t.AddRowf("pre-autosplit", res.Pre.Spec.Shards, res.Pre.Throughput, res.Pre.OpsThroughput, res.Pre.ShardImbalance,
+		float64(res.Pre.AckP99.Microseconds())/1e3, "-")
+	t.AddRowf("post-autosplit", res.Post.Spec.Shards, res.Post.Throughput, res.Post.OpsThroughput, res.Post.ShardImbalance,
+		float64(res.Post.AckP99.Microseconds())/1e3, res.Pilot.SplitWaitMS)
+	fmt.Println(t.String())
+	fmt.Println(perShardTable(res.Pre).String())
+	fmt.Println(perShardTable(res.Post).String())
+	fmt.Printf("autopilot: %d -> %d -> %d shards (%d split(s): %s; %d merge(s) %.1f ms after idle: %s); crash verified: %v, lost keys: %d\n",
+		res.Pilot.StartShards, res.Pilot.PeakShards, res.Pilot.EndShards,
+		res.Pilot.Splits, res.Pilot.SplitReason,
+		res.Pilot.Merges, res.Pilot.MergeWaitMS, res.Pilot.MergeReason,
+		res.Pilot.CrashVerified, res.Pilot.LostKeys)
 	return nil
 }

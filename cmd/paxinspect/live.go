@@ -86,9 +86,28 @@ func printShardStats(cl *wire.Client) error {
 	}
 	fmt.Printf("-- shards @ %s --\n", time.Now().Format(time.RFC3339))
 	if seq, ok := m["paxserve_slotmap_seq"]; ok {
-		fmt.Printf("router: %d shard(s), slot map seq %.0f, %.0f split(s), %.0f slot(s) / %.0f key(s) moved, %.0f stale key(s) purged\n",
-			shards, seq, m["paxserve_reshard_splits"], m["paxserve_reshard_moved_slots"],
+		fmt.Printf("router: %d shard(s), slot map seq %.0f, %.0f split(s), %.0f merge(s), %.0f slot(s) / %.0f key(s) moved, %.0f stale key(s) purged\n",
+			shards, seq, m["paxserve_reshard_splits"], m["paxserve_reshard_merges"], m["paxserve_reshard_moved_slots"],
 			m["paxserve_reshard_moved_keys"], m["paxserve_reshard_purged_keys"])
+	}
+	autopilot := m["paxserve_autopilot_enabled"] == 1
+	if autopilot {
+		line := fmt.Sprintf("autopilot: on, %.0f split(s) / %.0f merge(s) by policy",
+			m["paxserve_autopilot_splits"], m["paxserve_autopilot_merges"])
+		if code, ok := m["paxserve_autopilot_last_action"]; ok {
+			action := "split"
+			if code == 2 || code == -2 {
+				action = "merge"
+			}
+			status := ""
+			if code < 0 {
+				status = " (failed)"
+			}
+			line += fmt.Sprintf("; last: %s shard %.0f%s at %s",
+				action, m["paxserve_autopilot_last_shard"], status,
+				time.Unix(0, int64(m["paxserve_autopilot_last_unix_nano"])).Format(time.RFC3339))
+		}
+		fmt.Println(line)
 	}
 	get := func(name string, k int) float64 {
 		if shards == 1 {
@@ -119,6 +138,19 @@ func printShardStats(cl *wire.Client) error {
 			fmtNS(int64(quant("paxserve_commit_ns", k))),
 			fmtNS(int64(quant("paxserve_commit_ack_ns", k))))
 	}
+	if autopilot {
+		// Windowed rates are what the policy actually looks at; cumulative
+		// counters above can't show which shard is hot *now*.
+		fmt.Printf("  %5s %14s %16s %10s\n",
+			"shard", "win ops/s", "win enq p99", "win stall")
+		for k := 0; k < shards; k++ {
+			fmt.Printf("  %5d %14.1f %16s %9.1f%%\n",
+				k,
+				get("paxserve_window_ops_per_sec", k),
+				fmtNS(int64(get("paxserve_window_enqueue_p99_ns", k))),
+				100*get("paxserve_window_stall_frac", k))
+		}
+	}
 	return nil
 }
 
@@ -133,6 +165,14 @@ func printTrace(cl *wire.Client) error {
 	}
 	fmt.Printf("-- trace @ %s: %d shard(s), slow threshold %s --\n",
 		time.Now().Format(time.RFC3339), snap.Shards, time.Duration(snap.SlowThresholdNS))
+	if d := snap.Autopilot; d != nil {
+		status := fmt.Sprintf("-> %d shards", d.Shards)
+		if d.Err != "" {
+			status = "failed: " + d.Err
+		}
+		fmt.Printf("autopilot last decision @ %s: %s shard %d %s (%s)\n",
+			time.Unix(0, d.UnixNano).Format(time.RFC3339), d.Action, d.Shard, status, d.Reason)
+	}
 	printRecords("recent commits", snap.Recent)
 	printRecords("pinned outliers (slow or failed)", snap.Slow)
 	return nil

@@ -39,11 +39,23 @@
 // grow live: SIGUSR1 (or the SPLIT wire op) splits the hottest shard —
 // a new shard pool comes up, the hot half of the source's slots migrate
 // through the normal epoch machinery with acked writes durable throughout,
-// and the new assignment publishes atomically. On restart the shard count
-// is detected from the files present (-shards 0, the default), and an
-// explicit -shards that disagrees with the files is refused unless
-// -overwrite. A bare single-shard layout cannot split (its pool file cannot
-// coexist with shard files); start with -shards 2 to keep splitting open.
+// and the new assignment publishes atomically. The MERGE wire op runs the
+// inverse: the coldest shard's slots drain onto a survivor and the fleet
+// shrinks by one, the retired shard file removed crash-safely. On restart
+// the shard count is detected from the files present (-shards 0, the
+// default), and an explicit -shards that disagrees with the files is
+// refused unless -overwrite. A bare single-shard layout cannot split (its
+// pool file cannot coexist with shard files); start with -shards 2 to keep
+// splitting open.
+//
+// -autosplit and -merge-idle hand resharding to the built-in autopilot: a
+// policy loop samples windowed per-shard load every -autopilot-interval and
+// splits the hottest shard when its commit pipeline stays saturated
+// (windowed enqueue-wait p99 or pipeline stall, not mere imbalance) for
+// several consecutive ticks, or folds the coldest shard back after it idles
+// for -merge-idle — with hysteresis and a cooldown so the policy never
+// flaps. Its decisions and windowed rates are visible in STATS
+// (paxserve_autopilot_*, paxserve_window_*) and TRACE.
 //
 // GETs do not enter the writer queue: each shard keeps a volatile read
 // index (rebuilt from the recovered pool at startup) that the writer
@@ -98,6 +110,9 @@ func main() {
 		traceN    = flag.Int("trace-depth", server.DefaultTraceDepth, "flight recorder depth in commits, per shard")
 		inflight  = flag.Int("max-inflight-commits", 0, "modeled media commit concurrency per shard (commit pipeline window; 1 = serial media, 0 = default 2)")
 		ackPolicy = flag.String("ack-policy", "durable", "default ack policy for requests without an explicit wire flag: durable (ack when the group commit reaches media) | apply (ack when applied and read-index-visible; durability asynchronous)")
+		autosplit = flag.Bool("autosplit", false, "run the reshard autopilot's split policy: split the hottest shard when its commit pipeline stays saturated (requires a sharded layout)")
+		mergeIdle = flag.Duration("merge-idle", 0, "run the reshard autopilot's merge policy: fold the coldest shard back after it idles this long (0 disables; requires a sharded layout)")
+		apTick    = flag.Duration("autopilot-interval", time.Second, "reshard autopilot policy tick (windowed load sampling period)")
 	)
 	flag.Parse()
 	if *poolPath == "" {
@@ -183,6 +198,25 @@ func main() {
 			fmt.Printf("paxserve: recovered shard %d to epoch %d (%d lines rolled back)\n",
 				k, rec.DurableEpoch, rec.LinesRolledBack)
 		}
+	}
+
+	eng.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	if *autosplit || *mergeIdle > 0 {
+		if n < 2 {
+			fmt.Fprintln(os.Stderr, "paxserve: -autosplit/-merge-idle require a sharded layout (-shards >= 2)")
+			os.Exit(2)
+		}
+		if _, err := eng.StartAutopilot(server.AutopilotConfig{
+			Interval:     *apTick,
+			SplitEnabled: *autosplit,
+			MergeEnabled: *mergeIdle > 0,
+			MergeIdle:    *mergeIdle,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: autopilot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("paxserve: reshard autopilot on (split=%v merge-idle=%v interval=%v)\n",
+			*autosplit, *mergeIdle, *apTick)
 	}
 
 	lis, err := net.Listen("tcp", *addr)

@@ -231,6 +231,9 @@ type LoadJSON struct {
 	// acked write survived a crash+reopen.
 	Phase string     `json:"phase,omitempty"`
 	Split *SplitJSON `json:"split,omitempty"`
+	// Autopilot is set only by the autopilot experiment, on the
+	// post-autosplit record: what the reshard policy did unprompted.
+	Autopilot *AutopilotJSON `json:"autopilot,omitempty"`
 }
 
 // JSON converts the result to its machine-readable record.

@@ -208,6 +208,9 @@ const (
 	// opSplit asks the sharded router to split a shard live (migrate.go); a
 	// plain Engine has no shards and rejects it at begin.
 	opSplit
+	// opMerge is the inverse: drain the coldest shard and shrink the fleet
+	// (merge.go). Like opSplit it only makes sense on the sharded router.
+	opMerge
 	// opBarrier is a queue flush: it applies as a no-op and acks at apply
 	// time, so its return means every previously enqueued request has been
 	// applied — without forcing a commit the way opPersist does. Migration
@@ -229,7 +232,7 @@ type request struct {
 	key, value []byte
 	found      bool        // Delete: key was present (carried to the ack)
 	ackOnApply bool        // AckApply: finish at apply time, durability async
-	shard      int         // Split: source shard to split, -1 = auto-pick
+	shard      int         // Split: source to split; Merge: victim to drain; -1 = auto-pick
 	done       chan result // buffered(1); exactly one result per request
 }
 
@@ -484,8 +487,12 @@ func (r *request) finish(res result) { r.done <- res }
 // inline from the read index, which is what lets the TCP server resolve a
 // pipelined GET without serializing it behind the connection's PUT acks.
 func (e *Engine) begin(req *request) error {
-	if req.op == opSplit {
-		return fmt.Errorf("server: SPLIT requires a sharded server (-shards >= 2)")
+	if req.op == opSplit || req.op == opMerge {
+		name := "SPLIT"
+		if req.op == opMerge {
+			name = "MERGE"
+		}
+		return fmt.Errorf("server: %s requires a sharded server (-shards >= 2)", name)
 	}
 	if req.op == opTrace {
 		// Answered inline from the recorder's own mutex — never through the
@@ -1176,7 +1183,16 @@ func (e *Engine) acker() {
 		slots[next] = deadline
 		next = (next + 1) % len(slots)
 		if d := time.Until(deadline); d > 0 && !e.stopped() {
-			time.Sleep(d)
+			// The wait must abort the moment the engine stops: with a deep
+			// ackq backlog an uninterruptible sleep would hold Close/Crash
+			// hostage for up to backlog×CommitLatency of modeled media time,
+			// all of it spent acking commits that already persisted.
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-e.stop:
+				t.Stop()
+			}
 		}
 		e.finishCommit(ic)
 		e.depth.Add(-1)

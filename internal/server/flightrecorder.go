@@ -81,6 +81,9 @@ type TraceSnapshot struct {
 	SlowThresholdNS int64          `json:"slow_threshold_ns"`
 	Recent          []CommitRecord `json:"recent"`
 	Slow            []CommitRecord `json:"slow"`
+	// Autopilot is the reshard policy's last decision, when a policy loop is
+	// running on the sharded router (autopilot.go); nil otherwise.
+	Autopilot *PolicyDecision `json:"autopilot,omitempty"`
 }
 
 // flightRecorder is the per-engine recorder. record is called by the writer

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"fmt"
+	"os"
+
+	"pax/internal/epochlog"
+)
+
+// This file is the inverse of Split: Merge drains one shard and shrinks the
+// fleet by one, live. It reuses the per-slot cutover contract from migrate.go
+// wholesale — every slot leaves the retiring shard under the same
+// gate/barrier/copy/publish sequence a split uses — and adds exactly one new
+// commit point: the publish of a slot map whose Shards count shrank.
+//
+// # Why the highest-numbered shard file is the one retired
+//
+// DiscoverShards requires <path>.shard-0..N-1 to be contiguous, so the only
+// shard file that can be removed without breaking reopen is the top one.
+// Merge therefore always retires shard N-1's file. When the chosen victim is
+// not N-1, its slots first drain onto the destination, then shard N-1's
+// slots relocate onto the now-empty victim index — each slot still moves
+// under one ordinary cutover, and the file that disappears is the top one.
+//
+// # Crash windows (the merge crash contract, DESIGN.md)
+//
+//   - Crash mid-cutover: identical to a crashed split — the per-slot publish
+//     is the commit point, open-time purge erases whichever side lost.
+//   - Crash after the slots drained but before the shrunk map publishes: the
+//     map still counts N shards; reopen finds N files, the top shard owns
+//     zero slots, and the next Split adopts it (the documented
+//     crashed-split leftover state).
+//   - Crash after the shrunk map publishes but before the file is removed:
+//     reopen finds N files and a map naming N-1 — legal, "fewer is fine" —
+//     and openRoute records the extra zero-slot shard as adoptable. A later
+//     Merge (or Split) converges it.
+//   - Crash after the file is removed: a clean N-1 layout.
+//
+// Every acked write is on a routed shard in all four windows.
+
+// mergeStage names the points where a test hook can abort a Merge to
+// simulate a crash window.
+type mergeStage int
+
+const (
+	// mergeStageDrained: every slot has left the retiring shard, the shrunk
+	// map has not published.
+	mergeStageDrained mergeStage = iota
+	// mergeStagePublished: the shrunk map is on disk, the shard file is not
+	// yet removed.
+	mergeStagePublished
+)
+
+// MergeReport describes one completed Merge: which shard drained where, and
+// what was retired.
+type MergeReport struct {
+	// Victim is the shard whose load was merged away; Dest received its
+	// slots.
+	Victim int `json:"victim"`
+	Dest   int `json:"dest"`
+	// Retired is the shard index whose file was removed — always the highest
+	// index, the only one removable while the on-disk set stays contiguous.
+	// When Victim != Retired, the retired shard's slots relocated onto the
+	// drained victim index.
+	Retired int `json:"retired"`
+	// Shards is the fleet size after the merge.
+	Shards int `json:"shards"`
+	// MovedSlots counts the slot cutovers published (victim drain plus any
+	// top-shard relocation); MovedKeys counts the keys copied.
+	MovedSlots int `json:"moved_slots"`
+	MovedKeys  int `json:"moved_keys"`
+	// Seq is the slot map sequence number after the shrink published.
+	Seq uint64 `json:"slotmap_seq"`
+}
+
+// Merge drains one shard and shrinks the fleet by one, live. victim names
+// the shard to drain, or -1 to pick the shard with the least per-slot load
+// (windowed when the autopilot runs, cumulative otherwise). Its slots cut
+// over to the coldest surviving shard one at a time under the Split crash
+// contract; the shrunk assignment then publishes (the commit point for the
+// fleet shrink), the in-memory fleet shrinks, and the top shard's engine is
+// closed and its file removed. A crash anywhere in between converges at next
+// open — see the crash-window taxonomy at the top of this file.
+//
+// File-backed layouts cannot merge below 2 shards: a lone <path>.shard-0
+// file is not the bare single-file layout, so a 1-shard reopen would look in
+// the wrong place. In-memory fleets may merge down to 1.
+//
+// Concurrent per-key traffic is safe throughout (slots stall only while
+// their own cutover runs). A concurrent fleet-wide Persist/Stats that
+// sampled the old shard slice may race the retiring engine's close and
+// report an error for it; per-key requests never can, because no published
+// route references the retired shard by then.
+func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+
+	m := s.route.Load()
+	shards := *s.shards.Load()
+	n := len(shards)
+	if n < 2 {
+		return nil, fmt.Errorf("server: %d shard(s); nothing to merge", n)
+	}
+	if s.persistMap && n <= 2 {
+		return nil, fmt.Errorf("server: cannot merge below 2 shards in a file-backed layout")
+	}
+	if victim < 0 {
+		victim = s.coldestShard(m)
+	}
+	if victim >= n {
+		return nil, fmt.Errorf("server: merge victim %d out of range (%d shards)", victim, n)
+	}
+
+	top := n - 1
+	rep := &MergeReport{Victim: victim, Retired: top, Dest: -1, Shards: n}
+
+	// The destination takes the victim's slots: the coldest shard that is
+	// neither the victim nor the retiring top index (which must end empty).
+	loads := s.shardLoads(m)
+	for k := 0; k < n; k++ {
+		if k == victim || (k == top && victim != top) {
+			continue
+		}
+		if rep.Dest < 0 || loads[k] < loads[rep.Dest] {
+			rep.Dest = k
+		}
+	}
+
+	drain := func(from, to int) error {
+		moves := make(map[int]int)
+		for _, slot := range s.route.Load().slotsOf(from) {
+			moves[slot] = to
+		}
+		counts, err := s.migrateSlots(moves)
+		rep.MovedSlots += len(counts)
+		for _, c := range counts {
+			rep.MovedKeys += c
+		}
+		return err
+	}
+	if err := drain(victim, rep.Dest); err != nil {
+		rep.Seq = s.route.Load().Seq
+		return rep, err
+	}
+	if victim != top {
+		// Relocate the top shard's slots onto the drained victim index so the
+		// top file — the only removable one — ends empty.
+		if err := drain(top, victim); err != nil {
+			rep.Seq = s.route.Load().Seq
+			return rep, err
+		}
+	}
+	if s.mergeHook != nil {
+		if err := s.mergeHook(mergeStageDrained); err != nil {
+			rep.Seq = s.route.Load().Seq
+			return rep, err
+		}
+	}
+
+	// Commit point for the shrink: publish an assignment that counts one
+	// shard fewer. Nothing references the top index anymore, so the map
+	// validates; once this rename lands, reopen treats any surviving top
+	// shard file as an adoptable zero-slot leftover.
+	next := s.route.Load().clone()
+	next.Seq++
+	next.Shards = top
+	if s.persistMap {
+		if err := next.Save(s.path); err != nil {
+			rep.Seq = s.route.Load().Seq
+			return rep, fmt.Errorf("server: publishing shrunk slot map: %w", err)
+		}
+	}
+	s.route.Store(next)
+	rep.Seq = next.Seq
+	if s.mergeHook != nil {
+		if err := s.mergeHook(mergeStagePublished); err != nil {
+			return rep, err
+		}
+	}
+
+	// Shrink the published fleet before touching the retiring engine: new
+	// fan-outs (Persist/Stats/Metrics) load the short slice and never see it.
+	rest := make([]shard, top)
+	copy(rest, shards)
+	s.shards.Store(&rest)
+	rep.Shards = top
+
+	// Retire: the engine holds no routed keys (only ack-on-apply cleanup
+	// garbage), so a close failure here cannot lose acked state — log it and
+	// keep going; the file removal is what reclaims the space either way.
+	retired := shards[top]
+	if err := retired.eng.Close(); err != nil {
+		s.logf("server: merge: closing retired shard %d: %v", top, err)
+	}
+	if err := retired.pool.Close(); err != nil {
+		s.logf("server: merge: closing retired shard %d pool: %v", top, err)
+	}
+	if s.path != "" {
+		sp := ShardPath(s.path, n, top)
+		if err := os.RemoveAll(sp + epochlog.DirSuffix); err != nil {
+			s.logf("server: merge: removing retired shard %d epoch log: %v", top, err)
+		}
+		if err := os.Remove(sp); err != nil && !os.IsNotExist(err) {
+			s.logf("server: merge: removing retired shard %d file: %v", top, err)
+		}
+		_ = os.Remove(sp + ".tmp")
+	}
+	s.reshard.merges.Add(1)
+	s.logf("server: merge: shard %d drained to %d, shard %d retired (%d shards, %d slots, %d keys moved)",
+		victim, rep.Dest, top, rep.Shards, rep.MovedSlots, rep.MovedKeys)
+	return rep, nil
+}
+
+// coldestShard returns the least-loaded shard by the per-slot load signal
+// (ties to the lowest index).
+func (s *ShardedEngine) coldestShard(m *SlotMap) int {
+	loads := s.shardLoads(m)
+	best := 0
+	for k := 1; k < len(loads); k++ {
+		if loads[k] < loads[best] {
+			best = k
+		}
+	}
+	return best
+}

@@ -116,21 +116,28 @@ func (s *ShardedEngine) Split(src int) (*SplitReport, error) {
 
 	// Divide src's slots by measured load: heaviest first, each slot to the
 	// lighter side, source keeps the first (heaviest) slot so both sides end
-	// non-empty. Under uniform or zero counts this degenerates to an even
-	// halving, which is the right default.
+	// non-empty.
 	sort.Slice(owned, func(i, j int) bool {
-		return s.slotOps[owned[i]].Load() > s.slotOps[owned[j]].Load()
+		return s.slotLoad(owned[i]) > s.slotLoad(owned[j])
 	})
 	var stayLoad, moveLoad uint64
 	var moving []int
 	for i, slot := range owned {
-		load := s.slotOps[slot].Load()
+		load := s.slotLoad(slot)
 		if i == 0 || stayLoad <= moveLoad {
 			stayLoad += load
 		} else {
 			moveLoad += load
 			moving = append(moving, slot)
 		}
+	}
+	if len(moving) == 0 {
+		// All-zero load: stayLoad <= moveLoad holds on every iteration, so
+		// the greedy pass moves nothing — and a zero-slot "split" would still
+		// have created (and leaked) the destination shard above. Fall back to
+		// a count-based even halving: the trailing ⌈N/2⌉ slots move, the
+		// source keeps the rest (≥ 1, since it owned ≥ 2).
+		moving = append(moving, owned[len(owned)/2:]...)
 	}
 	sort.Ints(moving)
 
@@ -179,18 +186,24 @@ func (s *ShardedEngine) Rebalance(assign []int) error {
 	return err
 }
 
-// hottestShard sums per-slot op counts by owner and returns the busiest
-// shard (ties to the lowest index).
-func (s *ShardedEngine) hottestShard(m *SlotMap) int {
+// shardLoads sums the per-slot load signal by owning shard.
+func (s *ShardedEngine) shardLoads(m *SlotMap) []uint64 {
 	n := len(*s.shards.Load())
 	loads := make([]uint64, n)
 	for slot := range m.Assign {
 		if k := int(m.Assign[slot]); k < n {
-			loads[k] += s.slotOps[slot].Load()
+			loads[k] += s.slotLoad(slot)
 		}
 	}
+	return loads
+}
+
+// hottestShard returns the busiest shard by the per-slot load signal (ties to
+// the lowest index).
+func (s *ShardedEngine) hottestShard(m *SlotMap) int {
+	loads := s.shardLoads(m)
 	best := 0
-	for k := 1; k < n; k++ {
+	for k := 1; k < len(loads); k++ {
 		if loads[k] > loads[best] {
 			best = k
 		}
@@ -350,8 +363,12 @@ func (s *ShardedEngine) migrateSlot(slot, dst int) (moved int, err error) {
 	for _, e := range pairs {
 		if _, _, err := srcEng.DeletePolicy(e.key, AckApply); err != nil {
 			// The cutover already published; a cleanup failure degrades to
-			// the crash case (stale copies purged at next open), so report
-			// success.
+			// the crash case (stale copies purged at next open), so the
+			// migration still reports success — but it must not be silent,
+			// or the deferred purge is invisible until someone wonders where
+			// the space went.
+			s.reshard.cleanupFailures.Add(1)
+			s.logf("server: slot %d: source shard %d cleanup failed, stale copies deferred to next open: %v", slot, src, err)
 			break
 		}
 	}

@@ -190,13 +190,16 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		op = opTrace
 	case wire.OpSplit:
 		op = opSplit
+	case wire.OpMerge:
+		op = opMerge
 	default:
 		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
 		return func() wire.Response { return resp }
 	}
 	ereq := newRequest(op, req.Key, req.Value)
-	if op == opSplit {
-		// SplitAuto (all ones) means "server picks"; the engine side uses -1.
+	if op == opSplit || op == opMerge {
+		// SplitAuto/MergeAuto (all ones) means "server picks"; the engine
+		// side uses -1.
 		if req.Shard == wire.SplitAuto {
 			ereq.shard = -1
 		} else {
@@ -244,7 +247,7 @@ func renderResponse(op byte, res result) wire.Response {
 		return wire.Response{Status: st, Body: wire.EpochBody(res.epoch)}
 	case wire.OpStats:
 		return wire.Response{Status: wire.StatusOK, Body: []byte(res.text)}
-	case wire.OpTrace, wire.OpSplit:
+	case wire.OpTrace, wire.OpSplit, wire.OpMerge:
 		return wire.Response{Status: wire.StatusOK, Body: res.value}
 	}
 	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}

@@ -63,10 +63,24 @@ type ShardedEngine struct {
 	// uses to pick the hottest shard and divide its slots.
 	slotOps [NumSlots]atomic.Uint64
 
-	// migrateMu serializes Split/Rebalance (and the shard-slice growth they
-	// do); routing never takes it.
+	// Logf, when set (before serving starts), receives router-level events:
+	// deferred cleanup failures, autopilot decisions. Default: dropped.
+	Logf func(format string, args ...any)
+
+	// migrateMu serializes Split/Rebalance/Merge (and the shard-slice growth
+	// or shrink they do); routing never takes it.
 	migrateMu sync.Mutex
 	reshard   reshardCounters
+
+	// autopilot is the policy loop when StartAutopilot is running (autopilot.go).
+	// When set, the per-slot load signal is its tracker's windowed rate, not
+	// the cumulative counters.
+	autopilot atomic.Pointer[Autopilot]
+
+	// mergeHook, when set (tests only), runs between Merge's stages; a
+	// non-nil error aborts the merge at that stage, simulating a crash
+	// window (merge.go).
+	mergeHook func(stage mergeStage) error
 
 	// Creation-time parameters, kept so Split can open new shard pools with
 	// the same geometry and persist the map next to the same path.
@@ -90,10 +104,30 @@ type ShardedEngine struct {
 // reshardCounters are the router's own metrics (the engines know nothing of
 // slots): published alongside the merged per-shard metrics.
 type reshardCounters struct {
-	splits     atomic.Uint64 // completed Split calls
-	movedSlots atomic.Uint64 // slot cutovers published
-	movedKeys  atomic.Uint64 // keys copied to a new owner
-	purgedKeys atomic.Uint64 // misrouted keys removed at open (crash leftovers)
+	splits          atomic.Uint64 // completed Split calls
+	merges          atomic.Uint64 // completed Merge calls
+	movedSlots      atomic.Uint64 // slot cutovers published
+	movedKeys       atomic.Uint64 // keys copied to a new owner
+	purgedKeys      atomic.Uint64 // misrouted keys removed at open (crash leftovers)
+	cleanupFailures atomic.Uint64 // post-cutover source cleanups deferred to next open
+}
+
+// logf reports a router-level event to Logf when one is configured.
+func (s *ShardedEngine) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// slotLoad is the per-slot load signal Split, Merge, and the shard pickers
+// partition by: the autopilot tracker's windowed rate (fixed-point
+// milli-ops/sec) when the policy loop is running — a slot that was hot an
+// hour ago must not still look hot — else the cumulative since-open counter.
+func (s *ShardedEngine) slotLoad(slot int) uint64 {
+	if a := s.autopilot.Load(); a != nil {
+		return uint64(a.tracker.rate(slot) * 1000)
+	}
+	return s.slotOps[slot].Load()
 }
 
 // ShardPath returns shard k's pool file path. A single-shard engine uses
@@ -484,6 +518,17 @@ func (s *ShardedEngine) begin(req *request) error {
 			req.finish(result{value: buf, err: err})
 		}()
 		return nil
+	case opMerge:
+		go func() {
+			rep, err := s.Merge(req.shard)
+			if err != nil {
+				req.finish(result{err: err})
+				return
+			}
+			buf, err := json.Marshal(rep)
+			req.finish(result{value: buf, err: err})
+		}()
+		return nil
 	case opTrace:
 		// Recorder snapshots never touch the writer loops (each recorder has
 		// its own mutex), so this is answered inline — and keeps working with
@@ -534,6 +579,9 @@ func (s *ShardedEngine) Trace() TraceSnapshot {
 	}
 	sort.SliceStable(out.Recent, byStart(out.Recent))
 	sort.SliceStable(out.Slow, byStart(out.Slow))
+	if a := s.autopilot.Load(); a != nil {
+		out.Autopilot = a.last.Load()
+	}
 	return out
 }
 
@@ -639,9 +687,14 @@ func (s *ShardedEngine) Metrics() (stats.Summary, error) {
 func (s *ShardedEngine) addRouterMetrics(m stats.Summary) {
 	m["paxserve_slotmap_seq"] = float64(s.route.Load().Seq)
 	m["paxserve_reshard_splits"] = float64(s.reshard.splits.Load())
+	m["paxserve_reshard_merges"] = float64(s.reshard.merges.Load())
 	m["paxserve_reshard_moved_slots"] = float64(s.reshard.movedSlots.Load())
 	m["paxserve_reshard_moved_keys"] = float64(s.reshard.movedKeys.Load())
 	m["paxserve_reshard_purged_keys"] = float64(s.reshard.purgedKeys.Load())
+	m["paxserve_reshard_cleanup_failures"] = float64(s.reshard.cleanupFailures.Load())
+	if a := s.autopilot.Load(); a != nil {
+		a.publish(m)
+	}
 }
 
 // StatsText renders Metrics as `name value` lines — the sharded STATS reply.
@@ -771,6 +824,7 @@ func (s *ShardedEngine) DurableEpoch() uint64 {
 // individual failures; the first durability error (by shard index) is
 // returned so a degraded shutdown is never reported clean.
 func (s *ShardedEngine) Close() error {
+	s.stopAutopilot()
 	shards := *s.shards.Load()
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
@@ -799,6 +853,7 @@ func (s *ShardedEngine) Close() error {
 // device analogue of the machine dying — then closes the pools crash-like
 // (no final persist; unacked mutations roll back on reopen).
 func (s *ShardedEngine) Crash() error {
+	s.stopAutopilot()
 	var wg sync.WaitGroup
 	for _, sh := range *s.shards.Load() {
 		wg.Add(1)

@@ -177,6 +177,36 @@ func (s *LatencySnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
+// Sub returns the samples recorded between prev and s: the bucket-wise
+// difference of two snapshots of the same histogram, with s the newer one —
+// a windowed view over a cumulative histogram, from which windowed quantiles
+// answer. Buckets that appear to shrink (prev taken mid-Observe) clamp to
+// zero rather than going negative.
+func (s *LatencySnapshot) Sub(prev *LatencySnapshot) LatencySnapshot {
+	var d LatencySnapshot
+	first, last := -1, -1
+	for i := range s.buckets {
+		if s.buckets[i] <= prev.buckets[i] {
+			continue
+		}
+		n := s.buckets[i] - prev.buckets[i]
+		d.buckets[i] = n
+		d.Count += n
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	if first >= 0 {
+		d.Min = latLower(first)
+		d.Max = latUpper(last)
+	}
+	return d
+}
+
 // Mean reports the snapshot's average sample, 0 when empty.
 func (s *LatencySnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -274,3 +274,21 @@ func (c *Client) Split(shard int) ([]byte, error) {
 	}
 	return resp.Body, nil
 }
+
+// Merge asks a sharded server to shrink its fleet by one shard: shard >= 0
+// names the victim to drain, shard < 0 sends MergeAuto and the server picks
+// its coldest shard. The reply is the server's merge report as raw JSON (a
+// MergeReport, passed through undecoded like Split). The call blocks until
+// every slot has left the retired shard, the shrunk assignment is published,
+// and the shard file is removed.
+func (c *Client) Merge(shard int) ([]byte, error) {
+	operand := MergeAuto
+	if shard >= 0 {
+		operand = uint32(shard)
+	}
+	resp, err := c.roundTrip(Request{Op: OpMerge, Shard: operand})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}

@@ -48,6 +48,10 @@ type RetryClient struct {
 	addr   string
 	policy RetryPolicy
 	dial   func(addr string) (*Client, error)
+	// closing is closed by Close so a backoff sleep inside do aborts
+	// immediately instead of finishing the retry schedule against a client
+	// the caller already gave up on.
+	closing chan struct{}
 
 	mu     sync.Mutex
 	c      *Client // nil between a transport failure and the next reconnect
@@ -57,7 +61,7 @@ type RetryClient struct {
 // DialRetry connects to a paxserve at addr with retry semantics. The initial
 // dial is eager so configuration errors surface immediately.
 func DialRetry(addr string, policy RetryPolicy) (*RetryClient, error) {
-	r := &RetryClient{addr: addr, policy: policy.withDefaults(), dial: Dial}
+	r := &RetryClient{addr: addr, policy: policy.withDefaults(), dial: Dial, closing: make(chan struct{})}
 	c, err := r.dial(addr)
 	if err != nil {
 		return nil, err
@@ -70,7 +74,7 @@ func DialRetry(addr string, policy RetryPolicy) (*RetryClient, error) {
 // With a nil dialer the client cannot reconnect: a transport error fails the
 // operation after exhausting in-place retries.
 func NewRetryClient(c *Client, policy RetryPolicy, dial func(addr string) (*Client, error)) *RetryClient {
-	return &RetryClient{policy: policy.withDefaults(), dial: dial, c: c}
+	return &RetryClient{policy: policy.withDefaults(), dial: dial, c: c, closing: make(chan struct{})}
 }
 
 // client returns the live connection, reconnecting if the previous one was
@@ -116,6 +120,7 @@ func (r *RetryClient) Close() error {
 		return nil
 	}
 	r.closed = true
+	close(r.closing) // wake any do() out of its backoff sleep
 	c := r.c
 	r.c = nil
 	r.mu.Unlock()
@@ -131,7 +136,16 @@ func (r *RetryClient) do(req Request) (Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			// Interruptible backoff: a Close during the sleep fails the call
+			// now — finishing the schedule could hold the caller for the sum
+			// of the remaining backoffs against a connection that is gone.
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-r.closing:
+				t.Stop()
+				return Response{}, ErrClientClosed
+			}
 			if backoff *= 2; backoff > r.policy.MaxBackoff {
 				backoff = r.policy.MaxBackoff
 			}

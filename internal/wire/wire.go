@@ -15,6 +15,7 @@
 //	PERSIST(4):         [flags:u8]
 //	STATS(5), TRACE(6): empty
 //	SPLIT(7):           shard:u32be (SplitAuto = pick the hottest shard)
+//	MERGE(8):           shard:u32be (MergeAuto = pick the coldest shard)
 //
 // The optional trailing flags byte on mutations selects the ack policy:
 // FlagAckDurable (ack only once the group commit is on media) or
@@ -29,7 +30,8 @@
 //
 // Response bodies: the value for GET, the durable epoch (u64le) for PUT /
 // DELETE / PERSIST, the registry text for STATS, the flight-recorder
-// snapshot as JSON for TRACE, the split report as JSON for SPLIT, an error
+// snapshot as JSON for TRACE, the split report as JSON for SPLIT, the merge
+// report as JSON for MERGE, an error
 // message for StatusError, empty otherwise. The protocol is strictly in-order
 // request/response per connection, which is what lets clients pipeline:
 // the k-th response on a connection always answers the k-th request.
@@ -69,11 +71,16 @@ const (
 	OpStats   byte = 5
 	OpTrace   byte = 6
 	OpSplit   byte = 7
+	OpMerge   byte = 8
 )
 
 // SplitAuto is the SPLIT shard operand meaning "pick the hottest shard":
 // the server chooses the split source from its per-slot load counters.
 const SplitAuto = ^uint32(0)
+
+// MergeAuto is the MERGE shard operand meaning "pick the coldest shard":
+// the server chooses the merge victim from its per-slot load signal.
+const MergeAuto = ^uint32(0)
 
 // Response statuses. StatusBusy is the retryable subset of failure: the
 // server's request queue stayed full past its enqueue timeout (backpressure),
@@ -117,8 +124,8 @@ type Request struct {
 	// Flags is the ack-policy byte on PUT/DELETE/PERSIST (FlagAck*);
 	// FlagAckDefault encodes as no byte at all.
 	Flags byte
-	// Shard is SPLIT's operand: the shard to split, or SplitAuto to let the
-	// server pick the hottest.
+	// Shard is SPLIT's / MERGE's operand: the shard to split (or drain), or
+	// SplitAuto / MergeAuto to let the server pick.
 	Shard uint32
 }
 
@@ -145,6 +152,8 @@ func OpName(op byte) string {
 		return "TRACE"
 	case OpSplit:
 		return "SPLIT"
+	case OpMerge:
+		return "MERGE"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -214,7 +223,7 @@ func EncodeRequest(req Request) ([]byte, error) {
 		buf = appendBytes(buf, req.Value)
 	case OpPersist, OpStats, OpTrace:
 		// No body.
-	case OpSplit:
+	case OpSplit, OpMerge:
 		buf = binary.BigEndian.AppendUint32(buf, req.Shard)
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
@@ -260,9 +269,9 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		}
 	case OpPersist, OpStats, OpTrace:
 		// No body.
-	case OpSplit:
+	case OpSplit, OpMerge:
 		if len(rest) < 4 {
-			return Request{}, fmt.Errorf("wire: truncated SPLIT shard operand")
+			return Request{}, fmt.Errorf("wire: truncated %s shard operand", OpName(req.Op))
 		}
 		req.Shard = binary.BigEndian.Uint32(rest)
 		rest = rest[4:]
