@@ -80,6 +80,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "loadgen: base RNG seed for shared-keyspace sampling")
 		split      = flag.Bool("split", false, "loadgen: run the live-split A/B instead of the shard sweep: measure, split the hottest shard, measure again, then crash and verify no acked write was lost (needs -keys; uses the first -shards count, min 2)")
 		autopilot  = flag.Bool("autopilot", false, "loadgen: run the reshard-autopilot A/B instead of the shard sweep: measure, flood until the policy splits on its own, measure again, idle until it merges back, then crash and verify (uses the first -shards count, min 2)")
+		bbox       = flag.Bool("blackbox", false, "loadgen: journal lifecycle events and windowed metrics snapshots to <pool-dir>/load.pool.blackbox/ (requires -pool-dir; the A/B against the same run without it bounds journaling overhead)")
+		failAfter  = flag.Int("fail-syncs-after", 0, "loadgen: inject a persistent media-sync fault into shard 0 after N successful syncs — the shard seals fail-stop and the run ends in a simulated crash (postmortem smoke harness)")
 	)
 	flag.Parse()
 
@@ -109,6 +111,8 @@ func main() {
 			seed:       *seed,
 			split:      *split,
 			autopilot:  *autopilot,
+			blackbox:   *bbox,
+			failAfter:  *failAfter,
 		}
 		if err := runLoadgen(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "paxbench: loadgen: %v\n", err)
@@ -193,6 +197,8 @@ type loadgenConfig struct {
 	seed       int64
 	split      bool
 	autopilot  bool
+	blackbox   bool
+	failAfter  int
 }
 
 // runLoadgen sweeps persist mode × data size × shard count and reports each
@@ -278,6 +284,8 @@ func runLoadgen(cfg loadgenConfig) error {
 							RMWRatio:           cfg.rmwRatio,
 							ValueDist:          cfg.valueDist,
 							Seed:               cfg.seed,
+							Blackbox:           cfg.blackbox,
+							FailSyncsAfter:     cfg.failAfter,
 						}
 						if cfg.readRatio == 0 && cfg.keys == 0 {
 							spec.GetEveryN = 4

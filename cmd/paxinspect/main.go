@@ -125,8 +125,17 @@ func main() {
 		traceAt  = flag.String("trace", "", "poll a running paxserve's TRACE (commit flight recorder) at this address")
 		interval = flag.Duration("interval", 0, "with -stats/-trace: repeat the poll at this period (0 = once)")
 		byShard  = flag.Bool("shards", false, "with -stats: render a per-shard summary table (acked ops, queue/commit tails, slot counts) instead of the raw registry")
+		postDir  = flag.String("postmortem", "", "reconstruct a crash timeline from a black-box journal directory (<pool>.blackbox/) — works with the server dead")
+		asJSON   = flag.Bool("json", false, "with -postmortem: emit the machine-readable timeline instead of the human rendering")
 	)
 	flag.Parse()
+	if *postDir != "" {
+		if err := runPostmortem(*postDir, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "paxinspect: postmortem: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *statsAt != "" && *traceAt != "" {
 		fmt.Fprintln(os.Stderr, "paxinspect: -stats and -trace are mutually exclusive")
 		os.Exit(2)

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 
 	"pax/internal/server"
 )
@@ -30,8 +32,10 @@ func startDebug(addr string, eng *server.ShardedEngine) (net.Listener, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, text)
+		// The version parameter is what tells a Prometheus scraper this is
+		// the text exposition format, not arbitrary plain text.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePromText(w, text)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -52,4 +56,27 @@ func startDebug(addr string, eng *server.ShardedEngine) (net.Listener, error) {
 		}
 	}()
 	return lis, nil
+}
+
+// writePromText writes the registry's sorted text exposition with `# TYPE`
+// metadata lines interleaved: one `untyped` declaration per metric family
+// (the registry does not track kinds, and untyped is the honest Prometheus
+// type for that). Sample lines pass through byte-identical to the registry's
+// own rendering — CI and paxinspect -stats grep them verbatim.
+func writePromText(w io.Writer, text string) {
+	last := ""
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != last {
+			fmt.Fprintf(w, "# TYPE %s untyped\n", name)
+			last = name
+		}
+		fmt.Fprintln(w, line)
+	}
 }

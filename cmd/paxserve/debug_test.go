@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePromText(t *testing.T) {
+	in := strings.Join([]string{
+		`paxserve_acked_writes 100`,
+		`paxserve_commit_ns{q="p50"} 1000`,
+		`paxserve_commit_ns{q="p99"} 5000`,
+		`paxserve_shards 2`,
+	}, "\n") + "\n"
+
+	var b strings.Builder
+	writePromText(&b, in)
+	out := b.String()
+
+	want := strings.Join([]string{
+		`# TYPE paxserve_acked_writes untyped`,
+		`paxserve_acked_writes 100`,
+		`# TYPE paxserve_commit_ns untyped`,
+		`paxserve_commit_ns{q="p50"} 1000`,
+		`paxserve_commit_ns{q="p99"} 5000`,
+		`# TYPE paxserve_shards untyped`,
+		`paxserve_shards 2`,
+	}, "\n") + "\n"
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+
+	// The compatibility contract: every registry sample line appears
+	// byte-identical — greps against the raw registry keep working.
+	for _, line := range strings.Split(strings.TrimSuffix(in, "\n"), "\n") {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("sample line %q mutated in the exposition", line)
+		}
+	}
+}

@@ -81,6 +81,7 @@ import (
 	"time"
 
 	"pax"
+	"pax/internal/blackbox"
 	"pax/internal/server"
 )
 
@@ -108,6 +109,9 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "HTTP observability listener serving /metrics, /trace, and /debug/pprof/ (unauthenticated — bind to localhost; empty disables)")
 		slowCmt   = flag.Duration("slow-commit", server.DefaultSlowCommit, "pin group commits slower than this in the flight recorder (negative disables pinning)")
 		traceN    = flag.Int("trace-depth", server.DefaultTraceDepth, "flight recorder depth in commits, per shard")
+		slowN     = flag.Int("slow-depth", server.DefaultSlowDepth, "flight recorder pinned ring depth for failed and slow commits, per shard")
+		bbox      = flag.Bool("blackbox", false, "journal lifecycle events and windowed metrics snapshots to <pool>.blackbox/ for crash postmortems (paxinspect -postmortem)")
+		bboxTick  = flag.Duration("blackbox-interval", time.Second, "black-box windowed metrics snapshot period")
 		inflight  = flag.Int("max-inflight-commits", 0, "modeled media commit concurrency per shard (commit pipeline window; 1 = serial media, 0 = default 2)")
 		ackPolicy = flag.String("ack-policy", "durable", "default ack policy for requests without an explicit wire flag: durable (ack when the group commit reaches media) | apply (ack when applied and read-index-visible; durability asynchronous)")
 		autosplit = flag.Bool("autosplit", false, "run the reshard autopilot's split policy: split the hottest shard when its commit pipeline stays saturated (requires a sharded layout)")
@@ -187,6 +191,7 @@ func main() {
 		CommitRetryDelay:   *retryDly,
 		SlowCommit:         *slowCmt,
 		TraceDepth:         *traceN,
+		SlowDepth:          *slowN,
 		MaxInflightCommits: *inflight,
 	})
 	if err != nil {
@@ -201,6 +206,24 @@ func main() {
 	}
 
 	eng.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	// The black box attaches before the autopilot and the listener so its
+	// journal sees every lifecycle event the daemon ever emits, and before
+	// serving so the EvOpen records land first.
+	var bboxStop func()
+	var bboxJournal *blackbox.Journal
+	if *bbox {
+		j, err := blackbox.Open(blackbox.Config{Dir: *poolPath + blackbox.DirSuffix})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: blackbox: %v\n", err)
+			os.Exit(1)
+		}
+		bboxJournal = j
+		bboxStop = server.AttachBlackbox(eng, j, *bboxTick)
+		fmt.Printf("paxserve: black box journaling to %s (snapshot every %v)\n",
+			*poolPath+blackbox.DirSuffix, *bboxTick)
+	}
+
 	if *autosplit || *mergeIdle > 0 {
 		if n < 2 {
 			fmt.Fprintln(os.Stderr, "paxserve: -autosplit/-merge-idle require a sharded layout (-shards >= 2)")
@@ -282,6 +305,15 @@ serve:
 	}
 	splitting.Wait()
 	srv.Shutdown()
+	if bboxStop != nil {
+		// Orderly-exit marker first (so the postmortem can tell a shutdown
+		// from a crash), then the final snapshot, then release the journal.
+		eng.EmitEvent(blackbox.EvShutdown, nil)
+		bboxStop()
+		if err := bboxJournal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paxserve: blackbox close: %v\n", err)
+		}
+	}
 	if err := eng.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "paxserve: close: %v\n", err)
 		// Per-shard health so an operator can tell a degraded shutdown (one

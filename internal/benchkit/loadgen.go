@@ -1,6 +1,7 @@
 package benchkit
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"pax"
+	"pax/internal/blackbox"
+	"pax/internal/pmem"
 	"pax/internal/server"
 	"pax/internal/stats"
 	"pax/internal/workload"
@@ -20,6 +23,11 @@ import (
 // concurrent client goroutines, measuring how many individually-acked
 // durable writes each snapshot amortizes — and, with Shards > 1, how
 // partition-parallel group commit scales throughput.
+
+// ErrInjectedFault is the media error LoadSpec.FailSyncsAfter injects. The
+// chaos tests and the CI postmortem smoke grep for its message in the
+// journaled seal event, so treat it as part of the harness contract.
+var ErrInjectedFault = errors.New("injected media failure (loadgen chaos)")
 
 // LoadSpec parameterizes one loadgen run.
 type LoadSpec struct {
@@ -102,6 +110,22 @@ type LoadSpec struct {
 	// Seed perturbs the samplers; runs with equal specs are identical, and
 	// sweeps vary Seed to decorrelate. Each client derives its own stream.
 	Seed int64
+	// Blackbox attaches a crash black box (internal/blackbox) to the run:
+	// lifecycle events and windowed metrics snapshots journal to
+	// <PoolDir>/load.pool.blackbox/. Requires PoolDir (the journal is a
+	// directory of files). The A/B against an identical spec without it is
+	// the journaling-overhead bound.
+	Blackbox bool
+	// BlackboxInterval is the snapshot period (default 250ms — short, so
+	// even sub-second runs capture a windowed sample).
+	BlackboxInterval time.Duration
+	// FailSyncsAfter, when > 0, injects a persistent media-sync fault into
+	// shard 0 after that many successful syncs: every later persist fails,
+	// commit retries exhaust, and the shard seals fail-stop mid-run. Client
+	// errors are then expected (the client stops, the run continues), and
+	// the run ends with Crash() instead of Close() — a simulated kill, so
+	// what the black box captured is exactly what a postmortem would find.
+	FailSyncsAfter int
 }
 
 // LoadResult summarizes a run.
@@ -234,6 +258,11 @@ type LoadJSON struct {
 	// Autopilot is set only by the autopilot experiment, on the
 	// post-autosplit record: what the reshard policy did unprompted.
 	Autopilot *AutopilotJSON `json:"autopilot,omitempty"`
+	// Blackbox is whether the run journaled to a crash black box — the A/B
+	// axis for the journaling-overhead bound. FailSyncsAfter echoes the
+	// chaos fault injection (0 = healthy run).
+	Blackbox       bool `json:"blackbox"`
+	FailSyncsAfter int  `json:"fail_syncs_after,omitempty"`
 }
 
 // JSON converts the result to its machine-readable record.
@@ -308,6 +337,8 @@ func (r LoadResult) JSON() LoadJSON {
 		ShardImbalance:     r.ShardImbalance,
 		HotShard:           r.HotShard,
 		PerShard:           r.PerShard,
+		Blackbox:           r.Spec.Blackbox,
+		FailSyncsAfter:     r.Spec.FailSyncsAfter,
 	}
 }
 
@@ -358,6 +389,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 			return LoadResult{}, fmt.Errorf("benchkit: value distribution %q (want fixed or uniform)", spec.ValueDist)
 		}
 	}
+	if spec.Blackbox && spec.PoolDir == "" {
+		return LoadResult{}, fmt.Errorf("benchkit: Blackbox journals to a directory; set PoolDir")
+	}
 	shards := spec.Shards
 	if shards <= 0 {
 		shards = 1
@@ -386,6 +420,22 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	poolBytes := int64(eng.MediaSize())
 	epochLog := eng.EpochLogEnabled()
 
+	var bbJournal *blackbox.Journal
+	var bbStop func()
+	if spec.Blackbox {
+		j, err := blackbox.Open(blackbox.Config{Dir: path + blackbox.DirSuffix})
+		if err != nil {
+			eng.Close()
+			return LoadResult{}, fmt.Errorf("benchkit: blackbox: %w", err)
+		}
+		iv := spec.BlackboxInterval
+		if iv <= 0 {
+			iv = 250 * time.Millisecond
+		}
+		bbJournal = j
+		bbStop = server.AttachBlackbox(eng, j, iv)
+	}
+
 	value := make([]byte, spec.ValueBytes)
 	for i := range value {
 		value[i] = byte('a' + i%26)
@@ -406,10 +456,22 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	if spec.Keys > 0 {
 		if err := preloadKeys(eng, spec, value); err != nil {
 			eng.Close()
+			if bbStop != nil {
+				bbStop()
+				bbJournal.Close()
+			}
 			return LoadResult{}, err
 		}
 		preAgg = eng.AggregateStats()
 		preShard = eng.ShardAckedWrites()
+	}
+	chaos := spec.FailSyncsAfter > 0
+	if chaos {
+		// Injected after the preload so the fill always lands: shard 0's
+		// device starts refusing media syncs partway through the measured
+		// phase, its commit retries exhaust, and it seals fail-stop.
+		eng.ShardPools()[0].Internal().PM().SetFaultFn(
+			pmem.FailSyncsAfter(spec.FailSyncsAfter, ErrInjectedFault))
 	}
 	// shardAck splits the client-observed ack latency by the shard that
 	// served the write (routed via the engine's own ShardFor at issue time) —
@@ -443,6 +505,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 					rng = rng*1664525 + 1013904223
 					key := []byte(fmt.Sprintf("c%04d-%06d", c, int(rng)%wrote))
 					if _, ok, err := eng.Get(key); err != nil || !ok {
+						if chaos {
+							return
+						}
 						errs <- fmt.Errorf("client %d read %s: ok=%v err=%v", c, key, ok, err)
 						return
 					}
@@ -453,6 +518,11 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				shard := eng.ShardFor(key)
 				t0 := time.Now()
 				if _, err := eng.PutPolicy(key, value, policy); err != nil {
+					if chaos {
+						// Expected once the injected fault seals the shard:
+						// this client's writes route there, so it stops.
+						return
+					}
 					errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 					return
 				}
@@ -461,6 +531,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				shardAck[shard].Observe(d)
 				if spec.ReadRatio == 0 && spec.GetEveryN > 0 && op%spec.GetEveryN == spec.GetEveryN-1 {
 					if _, ok, err := eng.Get(key); err != nil || !ok {
+						if chaos {
+							return
+						}
 						errs <- fmt.Errorf("client %d read-back %s: ok=%v err=%v", c, key, ok, err)
 						return
 					}
@@ -470,8 +543,25 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	if err := eng.Close(); err != nil {
+	if chaos {
+		// Simulated kill: no orderly close, no shutdown marker. Everything a
+		// postmortem needs is already on disk — the journal fsyncs each
+		// append — so the black box is read back exactly as a crash would
+		// leave it (the sampler stop below only adds the tail-window
+		// snapshot, which a periodic tick would have written anyway).
+		eng.Crash()
+	} else if err := eng.Close(); err != nil {
+		if bbStop != nil {
+			bbStop()
+			bbJournal.Close()
+		}
 		return LoadResult{}, err
+	}
+	if bbStop != nil {
+		bbStop()
+		if err := bbJournal.Close(); err != nil {
+			return LoadResult{}, fmt.Errorf("benchkit: blackbox close: %w", err)
+		}
 	}
 	select {
 	case err := <-errs:
@@ -618,12 +708,18 @@ func runSharedClient(eng *server.ShardedEngine, spec LoadSpec, c int, value []by
 		readAcc, rmwAcc float64 // error-diffusion accumulators, deterministic per client
 		rng             = uint32(2654435761 * uint64(c+1))
 	)
+	// Under fault injection (FailSyncsAfter) errors are the experiment:
+	// the sealed shard refuses this client's ops, so it stops quietly.
+	chaos := spec.FailSyncsAfter > 0
 	for op := 0; op < spec.OpsPerClient; op++ {
 		readAcc += spec.ReadRatio
 		if readAcc >= 1 {
 			readAcc--
 			key := sharedKey(sampler.Next())
 			if _, ok, err := eng.Get(key); err != nil || !ok {
+				if chaos {
+					return
+				}
 				errs <- fmt.Errorf("client %d read %s: ok=%v err=%v", c, key, ok, err)
 				return
 			}
@@ -644,11 +740,17 @@ func runSharedClient(eng *server.ShardedEngine, spec LoadSpec, c int, value []by
 		t0 := time.Now()
 		if rmw {
 			if _, ok, err := eng.Get(key); err != nil || !ok {
+				if chaos {
+					return
+				}
 				errs <- fmt.Errorf("client %d rmw-read %s: ok=%v err=%v", c, key, ok, err)
 				return
 			}
 		}
 		if _, err := eng.PutPolicy(key, v, policy); err != nil {
+			if chaos {
+				return
+			}
 			errs <- fmt.Errorf("client %d op %d: %w", c, op, err)
 			return
 		}

@@ -1,0 +1,79 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pax/internal/blackbox"
+)
+
+// The CI crash-postmortem smoke in Go form: a chaos load run (blackbox on,
+// persistent media fault injected mid-phase, simulated kill at the end) must
+// leave a journal that alone names the cause — the failing commit record and
+// the seal carrying the injected error — plus at least one metrics snapshot.
+func TestRunLoadChaosJournalsTheCause(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunLoad(LoadSpec{
+		Clients:        4,
+		OpsPerClient:   400,
+		ValueBytes:     64,
+		MaxDelay:       time.Millisecond,
+		Shards:         2,
+		PoolDir:        dir,
+		EpochLog:       true,
+		Keys:           256,
+		Blackbox:       true,
+		FailSyncsAfter: 5,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	// Shard 1 stays healthy, so the run still serves: the chaos is confined
+	// to shard 0 sealing partway through.
+	if res.AckedWrites == 0 {
+		t.Fatal("chaos run acked nothing; the fault should hit one shard, not both")
+	}
+
+	jdir := filepath.Join(dir, "load.pool") + blackbox.DirSuffix
+	j, err := blackbox.Open(blackbox.Config{Dir: jdir, ReadOnly: true})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer j.Close()
+
+	types := make(map[string]int)
+	sealDetail := ""
+	err = j.Replay(func(rec blackbox.Record) error {
+		types[rec.Type]++
+		if rec.Type == blackbox.EvSeal {
+			var ev struct {
+				Detail json.RawMessage `json:"detail"`
+			}
+			if json.Unmarshal(rec.Payload, &ev) == nil {
+				sealDetail = string(ev.Detail)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if types[blackbox.EvOpen] != 2 {
+		t.Fatalf("journal has %d open events, want one per shard: %v", types[blackbox.EvOpen], types)
+	}
+	if types[blackbox.EvCommitFailed] == 0 || types[blackbox.EvSeal] == 0 {
+		t.Fatalf("journal missing the cause: %v", types)
+	}
+	if !strings.Contains(sealDetail, ErrInjectedFault.Error()) {
+		t.Fatalf("seal detail %q does not carry %q", sealDetail, ErrInjectedFault.Error())
+	}
+	if types[blackbox.EvSnapshot] == 0 {
+		t.Fatalf("journal has no metrics snapshot: %v", types)
+	}
+	if types[blackbox.EvShutdown] != 0 {
+		t.Fatalf("simulated kill journaled a shutdown marker: %v", types)
+	}
+}

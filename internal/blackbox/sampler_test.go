@@ -1,0 +1,70 @@
+package blackbox
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pax/internal/stats"
+)
+
+func TestMakeSnapshot(t *testing.T) {
+	prev := stats.Summary{
+		"paxserve_acked_writes": 1000,
+		"paxserve_gets":         200,
+		"paxserve_splits":       1,
+	}
+	cur := stats.Summary{
+		"paxserve_acked_writes":       1600,
+		"paxserve_gets":               400,
+		"paxserve_splits":             1, // unchanged: zero rate must be dropped
+		`paxserve_commit_ns{q="p99"}`: 123456,
+	}
+	s := MakeSnapshot(prev, cur, 2*time.Second)
+	if s.UnixNano == 0 || s.DurSeconds != 2 {
+		t.Fatalf("snapshot header = %+v", s)
+	}
+	if s.OpsPerSec != 400 { // (600 writes + 200 gets) / 2s
+		t.Fatalf("OpsPerSec = %v, want 400", s.OpsPerSec)
+	}
+	if s.Rates["paxserve_acked_writes"] != 300 || s.Rates["paxserve_gets"] != 100 {
+		t.Fatalf("rates = %v", s.Rates)
+	}
+	if _, ok := s.Rates["paxserve_splits"]; ok {
+		t.Fatalf("flat counter produced a rate entry: %v", s.Rates)
+	}
+	if s.Quantiles[`paxserve_commit_ns{q="p99"}`] != 123456 {
+		t.Fatalf("quantiles = %v", s.Quantiles)
+	}
+}
+
+func TestSamplerWritesSnapshots(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bb")
+	j := mustOpen(t, Config{Dir: dir})
+	defer j.Close()
+
+	calls := 0
+	sample := func() (stats.Summary, error) {
+		calls++
+		return stats.Summary{"paxserve_acked_writes": float64(calls) * 100}, nil
+	}
+	s := StartSampler(j, sample, 10*time.Millisecond)
+	time.Sleep(60 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	snaps := 0
+	err := j.Replay(func(rec Record) error {
+		if rec.Type == EvSnapshot {
+			snaps++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one periodic tick plus the Stop flush.
+	if snaps < 2 {
+		t.Fatalf("sampler wrote %d snapshots in 60ms at 10ms interval", snaps)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pax/internal/blackbox"
 	"pax/internal/stats"
 )
 
@@ -49,14 +50,21 @@ type ShardWindow struct {
 type loadTracker struct {
 	window time.Duration
 
-	mu        sync.Mutex
-	lastTick  time.Time
-	lastSlot  [NumSlots]uint64
+	mu       sync.Mutex
+	lastTick time.Time
+	// lastSlot holds the previous tick's cumulative per-slot op counts as a
+	// stats.Summary (keyed by slotKey) so the windowed delta→rate step is
+	// Summary.Diff + Summary.Rate — the same helpers the black-box sampler
+	// windows the full registry with — rather than hand-rolled subtraction.
+	lastSlot  stats.Summary
 	slotRate  [NumSlots]float64
 	prevEnq   map[*Engine]*stats.LatencySnapshot
 	prevStall map[*Engine]*stats.LatencySnapshot
 	windows   []ShardWindow
 }
+
+// slotKey names a slot's op-count series inside the tracker's summaries.
+func slotKey(slot int) string { return "slot_" + strconv.Itoa(slot) }
 
 func newLoadTracker(window time.Duration) *loadTracker {
 	return &loadTracker{
@@ -92,17 +100,18 @@ func (t *loadTracker) tick(s *ShardedEngine) []ShardWindow {
 	for k := range wins {
 		wins[k].Shard = k
 	}
+	cur := make(stats.Summary, NumSlots)
 	for slot := 0; slot < NumSlots; slot++ {
-		cur := s.slotOps[slot].Load()
-		d := cur - t.lastSlot[slot]
-		t.lastSlot[slot] = cur
-		if first || dt <= 0 {
-			continue
-		}
-		rate := float64(d) / dt.Seconds()
-		t.slotRate[slot] += alpha * (rate - t.slotRate[slot])
-		if k := int(m.Assign[slot]); k < len(wins) {
-			wins[k].OpsPerSec += t.slotRate[slot]
+		cur[slotKey(slot)] = float64(s.slotOps[slot].Load())
+	}
+	rates := cur.Diff(t.lastSlot).Rate(dt)
+	t.lastSlot = cur
+	if !first && dt > 0 {
+		for slot := 0; slot < NumSlots; slot++ {
+			t.slotRate[slot] += alpha * (rates[slotKey(slot)] - t.slotRate[slot])
+			if k := int(m.Assign[slot]); k < len(wins) {
+				wins[k].OpsPerSec += t.slotRate[slot]
+			}
 		}
 	}
 
@@ -435,6 +444,7 @@ func (a *Autopilot) apply(d *PolicyDecision) {
 	}
 	a.lastAction = time.Now()
 	a.last.Store(d)
+	a.s.events.emit(blackbox.EvPolicy, -1, d)
 	if d.Err != "" {
 		a.s.logf("server: autopilot: %s shard %d failed: %s (%s)", d.Action, d.Shard, d.Err, d.Reason)
 	} else {

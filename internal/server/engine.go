@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"pax"
+	"pax/internal/blackbox"
 	"pax/internal/stats"
 )
 
@@ -126,8 +127,11 @@ type Config struct {
 	// negative disables pinning — failed commits are still pinned).
 	SlowCommit time.Duration
 	// TraceDepth is the flight recorder's recent-ring size in commits
-	// (default 256). The pinned ring is DefaultSlowDepth deep.
+	// (default 256); SlowDepth sizes the pinned outlier ring that holds
+	// failed and over-threshold commits (default 64). A postmortem wants
+	// deeper rings than live debugging does.
 	TraceDepth int
+	SlowDepth  int
 	// MaxInflightCommits is the modeled media commit concurrency: how many
 	// epochs' CommitLatency may overlap on the device at once (default 2).
 	// While epoch N's media commit is outstanding the sealer keeps applying
@@ -171,6 +175,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceDepth <= 0 {
 		c.TraceDepth = DefaultTraceDepth
+	}
+	if c.SlowDepth <= 0 {
+		c.SlowDepth = DefaultSlowDepth
 	}
 	if c.MaxInflightCommits <= 0 {
 		c.MaxInflightCommits = 2
@@ -216,6 +223,10 @@ const (
 	// applied — without forcing a commit the way opPersist does. Migration
 	// uses it as the drain fence before copying a slot.
 	opBarrier
+	// opEvents returns the recent structured lifecycle events (events.go).
+	// Like opTrace it is answered inline, so a sealed engine still serves
+	// the events that explain the seal.
+	opEvents
 )
 
 type result struct {
@@ -388,6 +399,13 @@ type Engine struct {
 	stats EngineStats
 	reg   *stats.Registry
 	rec   *flightRecorder
+
+	// events is the recent-lifecycle-events ring (events.go); the sharded
+	// router installs itself as its sink so fleet-level consumers (EVENTS,
+	// the black-box journal) see every shard's events. lastStallEvent
+	// rate-limits pipeline-stall onset events (unix nanos of the last one).
+	events         eventHub
+	lastStallEvent atomic.Int64
 }
 
 // New builds an engine serving the map rooted at slot of pool and starts its
@@ -407,7 +425,7 @@ func New(pool *pax.Pool, slot int, cfg Config) (*Engine, error) {
 		idx:  newReadIndex(),
 		stop: make(chan struct{}),
 	}
-	e.rec = newFlightRecorder(e.cfg.TraceDepth, DefaultSlowDepth, e.cfg.SlowCommit)
+	e.rec = newFlightRecorder(e.cfg.TraceDepth, e.cfg.SlowDepth, e.cfg.SlowCommit)
 	kv.ForEach(func(key, value []byte) bool {
 		// ForEach hands out fresh copies, so the index can keep them.
 		s := e.idx.stripe(key)
@@ -499,6 +517,17 @@ func (e *Engine) begin(req *request) error {
 		// queue — so a sealed or crashed engine still serves its trace, which
 		// is exactly when the trace matters most.
 		buf, err := json.Marshal(e.rec.snapshot())
+		if err != nil {
+			req.finish(result{err: err})
+			return nil
+		}
+		req.finish(result{value: buf})
+		return nil
+	}
+	if req.op == opEvents {
+		// Inline for the same reason as TRACE: the events that explain a seal
+		// must be readable from the sealed engine.
+		buf, err := json.Marshal(e.Events())
 		if err != nil {
 			req.finish(result{err: err})
 			return nil
@@ -726,11 +755,15 @@ func (e *Engine) failErr() error {
 // never attempts a final persist; the medium already refused one.
 func (e *Engine) seal(cause error) {
 	e.mu.Lock()
-	if e.sealErr == nil {
+	first := e.sealErr == nil
+	if first {
 		e.sealErr = fmt.Errorf("%w: %v", ErrSealed, cause)
 	}
 	e.closed = true
 	e.mu.Unlock()
+	if first {
+		e.events.emit(blackbox.EvSeal, 0, errDetail{Error: cause.Error()})
+	}
 	e.stopOnce.Do(func() { close(e.stop) })
 }
 
@@ -924,7 +957,8 @@ func (e *Engine) persistSealed(b *sealedBatch) (*issuedCommit, error) {
 		rec.PersistNS = int64(time.Since(persistStart))
 		rec.TotalNS = b.sealNS + rec.PersistNS
 		rec.Err = err.Error()
-		e.rec.record(rec)
+		rec = e.rec.record(rec)
+		e.events.emit(blackbox.EvCommitFailed, 0, rec)
 		failAll(b.waiters, fmt.Errorf("%w: %v", ErrSealed, err))
 		return nil, err
 	}
@@ -965,12 +999,23 @@ func (e *Engine) finishCommit(ic *issuedCommit) {
 	e.stats.PersistNS.Observe(rec.PersistNS)
 	e.stats.AckNS.Observe(rec.AckNS)
 	e.stats.CommitNS.Observe(rec.TotalNS)
-	e.rec.record(rec)
+	rec = e.rec.record(rec)
+	if thr := e.cfg.SlowCommit; thr > 0 && rec.TotalNS >= int64(thr) {
+		e.events.emit(blackbox.EvCommitSlow, 0, rec)
+	}
 }
 
 // Trace returns the flight recorder's current contents. Safe on a sealed,
 // crashed, or closed engine — the recorder outlives the writer loop.
 func (e *Engine) Trace() TraceSnapshot { return e.rec.snapshot() }
+
+// Events returns the engine's recent lifecycle events, oldest first. Like
+// Trace it is safe on a sealed or crashed engine.
+func (e *Engine) Events() EventsSnapshot { return EventsSnapshot{Events: e.events.snapshot()} }
+
+// SetEventSink forwards every subsequent lifecycle event to fn (nil clears).
+// The sharded router uses it to merge per-shard events into its fleet hub.
+func (e *Engine) SetEventSink(fn func(Event)) { e.events.setSink(fn) }
 
 func failAll(waiters []*request, err error) {
 	for _, w := range waiters {
@@ -1009,6 +1054,16 @@ func (e *Engine) sealToPipeline(b *sealedBatch) bool {
 		e.stats.PipelineStallNS.Observe(0)
 	default:
 		stallStart := time.Now()
+		// Stall *onset* is a lifecycle event (rate-limited to one per
+		// second — a saturated pipeline stalls every seal): the black box
+		// wants "backlog began here", not one record per blocked epoch.
+		if last := e.lastStallEvent.Load(); stallStart.UnixNano()-last >= int64(time.Second) &&
+			e.lastStallEvent.CompareAndSwap(last, stallStart.UnixNano()) {
+			e.events.emit(blackbox.EvStall, 0, stallDetail{
+				Depth: int64(len(e.sealedq)),
+				Epoch: e.pool.Epoch() + 1,
+			})
+		}
 		select {
 		case e.sealedq <- b:
 			e.stats.PipelineStallNS.Since(stallStart)

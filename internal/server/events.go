@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// This file is the structured-lifecycle-event plumbing for the crash black
+// box (internal/blackbox): every interesting transition — seal, failed or
+// slow commit, pipeline-stall onset, split/merge stages, autopilot decision
+// — is emitted as an Event. Events land in a bounded in-memory ring (served
+// inline by the EVENTS wire op, like TRACE, so a sealed engine still
+// answers) and, when a sink is attached (AttachBlackbox), in the persistent
+// journal.
+
+// Event is one structured lifecycle event.
+type Event struct {
+	// Seq orders events within this process (assigned by the hub that
+	// first saw the event); UnixNano is wall-clock time at emission.
+	Seq      uint64 `json:"seq"`
+	UnixNano int64  `json:"unix_nano"`
+	// Type is one of the blackbox.Ev* record types.
+	Type string `json:"type"`
+	// Shard is the shard the event concerns; -1 for fleet-level events
+	// (policy decisions, merges spanning shards).
+	Shard int `json:"shard"`
+	// Detail is the event's typed payload, JSON-encoded: the seal error,
+	// the failed CommitRecord, the PolicyDecision, the split report.
+	Detail json.RawMessage `json:"detail,omitempty"`
+}
+
+// EventsSnapshot is the EVENTS wire op's reply body.
+type EventsSnapshot struct {
+	// Events holds the most recent events, oldest first.
+	Events []Event `json:"events"`
+}
+
+// eventRingDepth bounds the in-memory recent-events ring. Lifecycle events
+// are rare; 256 comfortably spans an incident.
+const eventRingDepth = 256
+
+// eventHub is a bounded recent-events ring plus an optional forwarding sink.
+// Engines own one each; the ShardedEngine owns the merged one and installs
+// itself as each engine's sink (stamping the shard index), so the sharded
+// hub sees every event in the fleet and the black-box journal hangs off it.
+type eventHub struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	count int
+	seq   uint64
+	sink  func(Event)
+}
+
+// emit builds an event (marshaling detail, which must not fail for the
+// types we pass — a marshal error drops the detail, never the event) and
+// publishes it to the ring and the sink.
+func (h *eventHub) emit(typ string, shard int, detail any) {
+	var blob json.RawMessage
+	if detail != nil {
+		if b, err := json.Marshal(detail); err == nil {
+			blob = b
+		}
+	}
+	h.publish(Event{
+		UnixNano: time.Now().UnixNano(),
+		Type:     typ,
+		Shard:    shard,
+		Detail:   blob,
+	})
+}
+
+// publish stores a pre-built event (assigning its seq) and forwards it.
+func (h *eventHub) publish(ev Event) {
+	h.mu.Lock()
+	h.seq++
+	ev.Seq = h.seq
+	if h.ring == nil {
+		h.ring = make([]Event, eventRingDepth)
+	}
+	h.ring[h.next] = ev
+	h.next = (h.next + 1) % len(h.ring)
+	if h.count < len(h.ring) {
+		h.count++
+	}
+	sink := h.sink
+	h.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// setSink installs (or clears, with nil) the forwarding sink. Events emitted
+// before the sink was installed stay in the ring only.
+func (h *eventHub) setSink(fn func(Event)) {
+	h.mu.Lock()
+	h.sink = fn
+	h.mu.Unlock()
+}
+
+// snapshot returns the ring's events, oldest first.
+func (h *eventHub) snapshot() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Event, 0, h.count)
+	start := h.next - h.count
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.count; i++ {
+		out = append(out, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}
+
+// errDetail is the generic {"error": ...} payload for failure events.
+type errDetail struct {
+	Error string `json:"error"`
+}
+
+// splitDetail / mergeDetail wrap the reshard reports for event payloads.
+// Report is marshaled at emit time, so a start event carries the plan so
+// far and a done event the final tally; Error is the abort cause when the
+// operation failed partway.
+type splitDetail struct {
+	Report *SplitReport `json:"report"`
+	Error  string       `json:"error,omitempty"`
+}
+
+type mergeDetail struct {
+	Report *MergeReport `json:"report"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// stallDetail describes a pipeline-stall onset.
+type stallDetail struct {
+	// Depth is the number of sealed epochs in flight when the sealer hit
+	// the run-ahead bound; Epoch is the epoch that had to wait.
+	Depth int64  `json:"depth"`
+	Epoch uint64 `json:"epoch"`
+}

@@ -136,8 +136,10 @@ func newFlightRecorder(depth, slowDepth int, threshold time.Duration) *flightRec
 }
 
 // record assigns the next sequence number and appends; failed or
-// over-threshold commits are copied to the pinned ring too.
-func (f *flightRecorder) record(rec CommitRecord) {
+// over-threshold commits are copied to the pinned ring too. It returns the
+// stamped record so event emitters journal the same seq TRACE shows —
+// a postmortem's failing-commit record cross-references the flight recorder.
+func (f *flightRecorder) record(rec CommitRecord) CommitRecord {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.seq++
@@ -146,6 +148,7 @@ func (f *flightRecorder) record(rec CommitRecord) {
 	if rec.Err != "" || (f.threshold > 0 && rec.TotalNS >= int64(f.threshold)) {
 		f.slow.push(rec)
 	}
+	return rec
 }
 
 // snapshot copies both rings.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"pax/internal/blackbox"
 	"pax/internal/epochlog"
 )
 
@@ -91,7 +92,7 @@ type MergeReport struct {
 // sampled the old shard slice may race the retiring engine's close and
 // report an error for it; per-key requests never can, because no published
 // route references the retired shard by then.
-func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
+func (s *ShardedEngine) Merge(victim int) (rep *MergeReport, err error) {
 	s.migrateMu.Lock()
 	defer s.migrateMu.Unlock()
 
@@ -112,7 +113,7 @@ func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
 	}
 
 	top := n - 1
-	rep := &MergeReport{Victim: victim, Retired: top, Dest: -1, Shards: n}
+	rep = &MergeReport{Victim: victim, Retired: top, Dest: -1, Shards: n}
 
 	// The destination takes the victim's slots: the coldest shard that is
 	// neither the victim nor the retiring top index (which must end empty).
@@ -125,6 +126,18 @@ func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
 			rep.Dest = k
 		}
 	}
+	// Every exit after this point — success, abort, simulated crash — closes
+	// the timeline with a done event; a journal holding merge_start with no
+	// merge_done means the process died inside the merge, and the last stage
+	// event names the crash window.
+	s.events.emit(blackbox.EvMergeStart, -1, mergeDetail{Report: rep})
+	defer func() {
+		d := mergeDetail{Report: rep}
+		if err != nil {
+			d.Error = err.Error()
+		}
+		s.events.emit(blackbox.EvMergeDone, -1, d)
+	}()
 
 	drain := func(from, to int) error {
 		moves := make(map[int]int)
@@ -150,6 +163,9 @@ func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
 			return rep, err
 		}
 	}
+	// Stage event first, then the test hook: a simulated crash "after drain"
+	// must still find the drained event in the journal.
+	s.events.emit(blackbox.EvMergeDrained, -1, mergeDetail{Report: rep})
 	if s.mergeHook != nil {
 		if err := s.mergeHook(mergeStageDrained); err != nil {
 			rep.Seq = s.route.Load().Seq
@@ -172,6 +188,7 @@ func (s *ShardedEngine) Merge(victim int) (*MergeReport, error) {
 	}
 	s.route.Store(next)
 	rep.Seq = next.Seq
+	s.events.emit(blackbox.EvMergePublished, -1, mergeDetail{Report: rep})
 	if s.mergeHook != nil {
 		if err := s.mergeHook(mergeStagePublished); err != nil {
 			return rep, err

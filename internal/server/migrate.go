@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pax"
+	"pax/internal/blackbox"
 )
 
 // This file is live resharding: moving slots between shards while the router
@@ -145,6 +146,7 @@ func (s *ShardedEngine) Split(src int) (*SplitReport, error) {
 	for _, slot := range moving {
 		moves[slot] = rep.Dest
 	}
+	s.events.emit(blackbox.EvSplitStart, -1, splitDetail{Report: rep})
 	moved, err := s.migrateSlots(moves)
 	rep.MovedSlots = moving[:len(moved)]
 	rep.MovedKeys = 0
@@ -154,9 +156,11 @@ func (s *ShardedEngine) Split(src int) (*SplitReport, error) {
 	rep.Seq = s.route.Load().Seq
 	rep.Shards = len(*s.shards.Load())
 	if err != nil {
+		s.events.emit(blackbox.EvSplitDone, -1, splitDetail{Report: rep, Error: err.Error()})
 		return rep, err
 	}
 	s.reshard.splits.Add(1)
+	s.events.emit(blackbox.EvSplitDone, -1, splitDetail{Report: rep})
 	return rep, nil
 }
 
@@ -234,6 +238,7 @@ func (s *ShardedEngine) addShard() (int, error) {
 		pool.Close()
 		return 0, fmt.Errorf("server: shard %d: %w", k, err)
 	}
+	s.forwardEvents(eng)
 	next := make([]shard, k+1)
 	copy(next, shards)
 	next[k] = shard{pool: pool, eng: eng}

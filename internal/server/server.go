@@ -192,6 +192,8 @@ func (s *Server) beginDispatch(req wire.Request) func() wire.Response {
 		op = opSplit
 	case wire.OpMerge:
 		op = opMerge
+	case wire.OpEvents:
+		op = opEvents
 	default:
 		resp := wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(req.Op))}
 		return func() wire.Response { return resp }
@@ -247,7 +249,7 @@ func renderResponse(op byte, res result) wire.Response {
 		return wire.Response{Status: st, Body: wire.EpochBody(res.epoch)}
 	case wire.OpStats:
 		return wire.Response{Status: wire.StatusOK, Body: []byte(res.text)}
-	case wire.OpTrace, wire.OpSplit, wire.OpMerge:
+	case wire.OpTrace, wire.OpEvents, wire.OpSplit, wire.OpMerge:
 		return wire.Response{Status: wire.StatusOK, Body: res.value}
 	}
 	return wire.Response{Status: wire.StatusError, Body: []byte("unknown opcode " + wire.OpName(op))}

@@ -97,6 +97,13 @@ type ShardedEngine struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// events is the fleet-level lifecycle-event hub: per-engine events are
+	// forwarded here (stamped with their shard index at forward time, so
+	// relabeling across merges stays correct), and the router emits its own
+	// split/merge/policy events directly. AttachBlackbox hangs the journal
+	// off this hub's sink.
+	events eventHub
+
 	mu    sync.Mutex
 	final stats.Summary // metrics frozen at teardown; guarded by mu
 }
@@ -294,12 +301,66 @@ func OpenSharded(path string, shards int, opts pax.Options, slot int, cfg Config
 		}
 		return nil, firstErr
 	}
+	for _, sh := range list {
+		s.forwardEvents(sh.eng)
+	}
 	s.shards.Store(&list)
 	if err := s.openRoute(persisted, opts.Overwrite); err != nil {
 		s.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// forwardEvents installs the fleet hub as eng's event sink. The shard index
+// is stamped at forward time — engines keep their slice position for life,
+// but resolving late keeps the stamp correct for engines forwarded before
+// their slice is published (open, addShard).
+func (s *ShardedEngine) forwardEvents(eng *Engine) {
+	eng.SetEventSink(func(ev Event) {
+		ev.Shard = s.shardIndexOf(eng)
+		s.events.publish(ev)
+	})
+}
+
+// shardIndexOf resolves an engine's index in the live shard slice, -1 when
+// it is not (yet, or no longer) published. O(shards), and lifecycle events
+// are rare.
+func (s *ShardedEngine) shardIndexOf(eng *Engine) int {
+	if sp := s.shards.Load(); sp != nil {
+		for i, sh := range *sp {
+			if sh.eng == eng {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Events returns the fleet's recent lifecycle events, oldest first: every
+// shard's events plus the router's own split/merge/policy events. Safe on a
+// sealed or closed fleet.
+func (s *ShardedEngine) Events() EventsSnapshot {
+	return EventsSnapshot{Events: s.events.snapshot()}
+}
+
+// SetEventSink forwards every subsequent fleet-level event to fn (nil
+// clears). AttachBlackbox uses it to journal events persistently.
+func (s *ShardedEngine) SetEventSink(fn func(Event)) { s.events.setSink(fn) }
+
+// ShardPools returns the live shards' pools, in shard order. Test and
+// benchmark harnesses use it to reach the fault-injection hooks on the
+// backing devices; the pools stay owned by the engine.
+func (s *ShardedEngine) ShardPools() []*pax.Pool {
+	sp := s.shards.Load()
+	if sp == nil {
+		return nil
+	}
+	out := make([]*pax.Pool, len(*sp))
+	for i, sh := range *sp {
+		out[i] = sh.pool
+	}
+	return out
 }
 
 // openRoute installs the routing table at open time and reconciles the
@@ -534,6 +595,12 @@ func (s *ShardedEngine) begin(req *request) error {
 		// its own mutex), so this is answered inline — and keeps working with
 		// shards sealed or crashed.
 		buf, err := json.Marshal(s.Trace())
+		req.finish(result{value: buf, err: err})
+		return nil
+	case opEvents:
+		// Same inline contract as TRACE: the hub has its own mutex, so a
+		// sealed fleet still serves the events that explain the seal.
+		buf, err := json.Marshal(s.Events())
 		req.finish(result{value: buf, err: err})
 		return nil
 	}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummaryDiff(t *testing.T) {
+	prev := Summary{
+		"ops":                    100,
+		"gets":                   40,
+		"vanished":               7,
+		`commit_ns{q="p99"}`:     5000,
+		`lat{shard="0",q="p50"}`: 10,
+	}
+	cur := Summary{
+		"ops":                    250, // counter advanced
+		"gets":                   40,  // unchanged
+		"fresh":                  12,  // key absent in prev counts from zero
+		`commit_ns{q="p99"}`:     9000,
+		`lat{shard="0",q="p50"}`: 20,
+	}
+	d := cur.Diff(prev)
+	if d["ops"] != 150 || d["gets"] != 0 || d["fresh"] != 12 {
+		t.Fatalf("diff = %v", d)
+	}
+	if _, ok := d["vanished"]; ok {
+		t.Fatalf("key present only in prev must be dropped, got %v", d)
+	}
+	for k := range d {
+		if k == `commit_ns{q="p99"}` || k == `lat{shard="0",q="p50"}` {
+			t.Fatalf("quantile gauge %q leaked into a counter diff", k)
+		}
+	}
+}
+
+func TestSummaryRate(t *testing.T) {
+	d := Summary{"ops": 150, "idle": 0}
+	r := d.Rate(3 * time.Second)
+	if r["ops"] != 50 || r["idle"] != 0 {
+		t.Fatalf("rate = %v", r)
+	}
+	if got := d.Rate(0); len(got) != 0 {
+		t.Fatalf("zero window must yield no rates, got %v", got)
+	}
+	if got := d.Rate(-time.Second); len(got) != 0 {
+		t.Fatalf("negative window must yield no rates, got %v", got)
+	}
+}

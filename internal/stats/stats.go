@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing event counter, safe for concurrent use.
@@ -297,6 +298,40 @@ func (s Summary) Merge(other Summary) {
 	for k, v := range other {
 		s[k] += v
 	}
+}
+
+// Diff returns the per-key difference s - prev for counter-like series: the
+// windowed delta a rate computation or telemetry snapshot wants. Keys missing
+// from prev count as zero (a counter that appeared mid-window), and keys that
+// vanished from s are dropped (the series' owner is gone — a retired shard's
+// gauge has no meaningful delta). Quantile series — keys carrying a `{q="..."}`
+// label — are skipped entirely: a histogram quantile is a distribution
+// statistic, not a cumulative counter, and subtracting two of them yields
+// nothing meaningful (window a histogram via LatencySnapshot.Sub instead).
+func (s Summary) Diff(prev Summary) Summary {
+	out := make(Summary, len(s))
+	for k, v := range s {
+		if strings.Contains(k, `{q="`) || strings.Contains(k, `,q="`) {
+			continue
+		}
+		out[k] = v - prev[k]
+	}
+	return out
+}
+
+// Rate divides every entry by the window length in seconds, turning a Diff
+// result into per-second rates. A non-positive window returns an empty
+// summary rather than infinities.
+func (s Summary) Rate(window time.Duration) Summary {
+	if window <= 0 {
+		return Summary{}
+	}
+	secs := window.Seconds()
+	out := make(Summary, len(s))
+	for k, v := range s {
+		out[k] = v / secs
+	}
+	return out
 }
 
 // String renders the summary sorted by key.

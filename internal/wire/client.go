@@ -257,6 +257,17 @@ func (c *Client) Trace() ([]byte, error) {
 	return resp.Body, nil
 }
 
+// Events fetches the server's recent structured lifecycle events as raw JSON
+// (a server.EventsSnapshot). Like TRACE it is answered inline, so a sealed
+// server still reports the events that explain its seal.
+func (c *Client) Events() ([]byte, error) {
+	resp, err := c.roundTrip(Request{Op: OpEvents})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
 // Split asks a sharded server to split one shard live: shard >= 0 names the
 // split source, shard < 0 sends SplitAuto and the server picks its hottest
 // shard. The reply is the server's split report as raw JSON (a SplitReport;

@@ -72,6 +72,7 @@ const (
 	OpTrace   byte = 6
 	OpSplit   byte = 7
 	OpMerge   byte = 8
+	OpEvents  byte = 9
 )
 
 // SplitAuto is the SPLIT shard operand meaning "pick the hottest shard":
@@ -154,6 +155,8 @@ func OpName(op byte) string {
 		return "SPLIT"
 	case OpMerge:
 		return "MERGE"
+	case OpEvents:
+		return "EVENTS"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -221,7 +224,7 @@ func EncodeRequest(req Request) ([]byte, error) {
 	case OpPut:
 		buf = appendBytes(buf, req.Key)
 		buf = appendBytes(buf, req.Value)
-	case OpPersist, OpStats, OpTrace:
+	case OpPersist, OpStats, OpTrace, OpEvents:
 		// No body.
 	case OpSplit, OpMerge:
 		buf = binary.BigEndian.AppendUint32(buf, req.Shard)
@@ -267,7 +270,7 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		if req.Value, rest, err = takeBytes(rest); err != nil {
 			return Request{}, fmt.Errorf("wire: PUT value: %w", err)
 		}
-	case OpPersist, OpStats, OpTrace:
+	case OpPersist, OpStats, OpTrace, OpEvents:
 		// No body.
 	case OpSplit, OpMerge:
 		if len(rest) < 4 {
